@@ -1,0 +1,22 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 11: effect of varying eps on shuffle remote reads (MB), for S1xS2
+// (11a) and R1xS1 (11b). Paper shape: LPiB/DIFF transfer much less than
+// UNI(R)/UNI(S) and eps-grid; Sedona has the lowest shuffle volume (its
+// large QuadTree partitions avoid replication) - which it pays for in
+// execution time (Figure 12).
+#include "sweep_util.h"
+
+int main() {
+  using namespace pasjoin::bench;
+  const Defaults defaults = GetDefaults();
+  PrintBanner("Figure 11 - shuffle remote reads (MB) vs eps",
+              "series: one per algorithm; lower is better");
+  const auto combos = PaperCombos();
+  const auto metric = [](const pasjoin::exec::JobMetrics& m) {
+    return static_cast<double>(m.shuffle_remote_bytes) / (1024.0 * 1024.0);
+  };
+  RunEpsSweep(combos[0], defaults, metric, "shuffle remote reads (MB)");
+  RunEpsSweep(combos[1], defaults, metric, "shuffle remote reads (MB)");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 12: effect of varying eps on execution time, for S1xS2 (12a) and
+// R1xS1 (12b). Time is the simulated parallel execution time (construction +
+// join makespan over the logical workers; DESIGN.md Section 2). Paper shape:
+// time grows with eps for every algorithm (larger output); LPiB/DIFF beat
+// the best PBSM variant (~10-20% on the paper's cluster); Sedona is about an
+// order of magnitude slower because its large partitions make the local
+// joins expensive.
+#include "sweep_util.h"
+
+int main() {
+  using namespace pasjoin::bench;
+  const Defaults defaults = GetDefaults();
+  PrintBanner("Figure 12 - execution time (s) vs eps",
+              "simulated parallel time = construction + join makespan");
+  const auto combos = PaperCombos();
+  const auto metric = [](const pasjoin::exec::JobMetrics& m) {
+    return m.TotalSeconds();
+  };
+  RunEpsSweep(combos[0], defaults, metric, "execution time (s)",
+              defaults.time_reps);
+  RunEpsSweep(combos[1], defaults, metric, "execution time (s)",
+              defaults.time_reps);
+  return 0;
+}

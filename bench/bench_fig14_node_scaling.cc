@@ -1,0 +1,52 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 14: effect of varying the number of nodes (workers) on execution
+// time (14a) and shuffle remote reads (14b), S1xS2. Time is the simulated
+// parallel makespan (DESIGN.md Section 2), so the scaling trend is
+// meaningful regardless of the host's core count.
+//
+// Paper shape: all algorithms get faster with more executors, with
+// diminishing returns (4->6 nodes helps ~30%, 8->10 only ~15%); shuffle
+// remote reads *increase* slightly with more nodes (less data is
+// worker-local).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace pasjoin;
+  using namespace pasjoin::bench;
+  const Defaults defaults = GetDefaults();
+  PrintBanner("Figure 14 - scalability with the number of nodes (S1xS2)",
+              "time = construction + join makespan at W logical workers");
+
+  const Dataset& r = PaperData(datagen::PaperDataset::kS1, defaults.base_n);
+  const Dataset& s = PaperData(datagen::PaperDataset::kS2, defaults.base_n);
+  const std::vector<int> nodes = {4, 6, 8, 10, 12};
+
+  std::printf("%-10s", "algorithm");
+  for (const int w : nodes) std::printf("   W=%-9d", w);
+  std::printf("\n");
+
+  for (const std::string& algo : AllAlgorithms()) {
+    // Two passes: execution time, then remote MB (paper panels a and b).
+    std::printf("%-10s", algo.c_str());
+    std::vector<double> remote_mb;
+    for (const int w : nodes) {
+      RunConfig config;
+      config.eps = defaults.eps;
+      config.workers = w;
+      config.num_splits = 96;  // fixed partition count, as in the paper
+      config.sample_rate = defaults.sample_rate;
+      const exec::JobMetrics m =
+          RunAlgorithmMedian(algo, r, s, config, defaults.time_reps);
+      std::printf(" %7.3fs    ", m.TotalSeconds());
+      remote_mb.push_back(m.shuffle_remote_bytes / (1024.0 * 1024.0));
+    }
+    std::printf("\n%-10s", "  remoteMB");
+    for (const double mb : remote_mb) std::printf(" %7.2fMB   ", mb);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 16: effect of increasing the tuple size factor on shuffle remote
+// reads (a) and execution time (b), for the synthetic combination S1xS2.
+#include "tuple_size_util.h"
+
+int main() {
+  using namespace pasjoin::bench;
+  PrintBanner("Figure 16 - tuple size factor sweep (S1xS2)",
+              "factors f0..f4 = 0/32/64/128/256 payload bytes per tuple");
+  RunTupleSizeSweep(PaperCombos()[0]);
+  return 0;
+}

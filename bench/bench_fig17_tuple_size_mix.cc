@@ -1,0 +1,12 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 17: tuple size factor sweep for the mixed combination R1xS1.
+#include "tuple_size_util.h"
+
+int main() {
+  using namespace pasjoin::bench;
+  PrintBanner("Figure 17 - tuple size factor sweep (R1xS1)",
+              "factors f0..f4 = 0/32/64/128/256 payload bytes per tuple");
+  RunTupleSizeSweep(PaperCombos()[1]);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Figure 18: tuple size factor sweep for the real x real combination R2xR1.
+#include "tuple_size_util.h"
+
+int main() {
+  using namespace pasjoin::bench;
+  PrintBanner("Figure 18 - tuple size factor sweep (R2xR1)",
+              "factors f0..f4 = 0/32/64/128/256 payload bytes per tuple");
+  RunTupleSizeSweep(PaperCombos()[2]);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Microbenchmarks of the extent-object substrate: segment/object distance
+// kernels and the reference-point grid join.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "extent/extent_join.h"
+#include "extent/generators.h"
+#include "extent/geometry.h"
+
+namespace pasjoin::extent {
+namespace {
+
+void BM_SegmentDistance(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back(Point{rng.NextUniform(0, 10), rng.NextUniform(0, 10)});
+  }
+  size_t i = 0;
+  double sink = 0;
+  for (auto _ : state) {
+    sink += SegmentDistance(pts[i], pts[(i + 1) & 1023], pts[(i + 2) & 1023],
+                            pts[(i + 3) & 1023]);
+    i = (i + 4) & 1023;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentDistance);
+
+void BM_ObjectDistance(benchmark::State& state) {
+  const int verts = static_cast<int>(state.range(0));
+  const Rect box{0, 0, 20, 20};
+  const ExtentDataset a =
+      GenerateRiverPolylines(64, 2, box, 1.0, verts);
+  const ExtentDataset b =
+      GenerateRiverPolylines(64, 3, box, 1.0, verts);
+  size_t i = 0;
+  double sink = 0;
+  for (auto _ : state) {
+    sink += ObjectDistance(a.objects[i & 63], b.objects[(i + 7) & 63]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectDistance)->Arg(4)->Arg(10)->Arg(24);
+
+void BM_PolygonContains(benchmark::State& state) {
+  const Rect box{0, 0, 20, 20};
+  const ExtentDataset parks = GenerateParkPolygons(64, 5, box, 2.0);
+  Rng rng(7);
+  std::vector<Point> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(Point{rng.NextUniform(0, 20), rng.NextUniform(0, 20)});
+  }
+  size_t i = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    sink += parks.objects[i & 63].Contains(probes[i & 1023]) ? 1 : 0;
+    ++i;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolygonContains);
+
+void BM_ExtentGridJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Rect box{0, 0, 50, 50};
+  const ExtentDataset rivers = GenerateRiverPolylines(n, 11, box, 0.6);
+  const ExtentDataset parks = GenerateParkPolygons(n, 13, box, 0.4);
+  ExtentJoinOptions options;
+  options.eps = 0.3;
+  options.workers = 4;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += GridExtentDistanceJoin(rivers, parks, options)
+                .value()
+                .metrics.results;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExtentGridJoin)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace pasjoin::extent
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Microbenchmarks of the per-partition join algorithms: plane sweep vs
+// nested loop vs R-tree probing, at typical cell populations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "spatial/local_join.h"
+#include "spatial/rtree.h"
+
+namespace pasjoin {
+namespace {
+
+std::vector<Tuple> CellPoints(size_t n, uint64_t seed) {
+  // Points inside one 2eps x 2eps cell with eps = 1.
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Tuple{static_cast<int64_t>(i),
+                        Point{rng.NextUniform(0, 2), rng.NextUniform(0, 2)},
+                        ""});
+  }
+  return out;
+}
+
+constexpr double kEps = 0.12;
+
+void BM_NestedLoopCell(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Tuple> r = CellPoints(n, 1);
+  const std::vector<Tuple> s = CellPoints(n, 2);
+  uint64_t results = 0;
+  for (auto _ : state) {
+    results += spatial::NestedLoopJoin(r, s, kEps,
+                                       [](const Tuple&, const Tuple&) {})
+                   .results;
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NestedLoopCell)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PlaneSweepCell(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t results = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Tuple> r = CellPoints(n, 1);
+    std::vector<Tuple> s = CellPoints(n, 2);
+    state.ResumeTiming();
+    results += spatial::PlaneSweepJoin(&r, &s, kEps,
+                                       [](const Tuple&, const Tuple&) {})
+                   .results;
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PlaneSweepCell)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Tuple> pts = CellPoints(n, 3);
+  for (auto _ : state) {
+    const spatial::RTree tree(pts);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RTreeProbeCell(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Tuple> indexed = CellPoints(n, 4);
+  const std::vector<Tuple> probes = CellPoints(n, 5);
+  const spatial::RTree tree(indexed);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const Tuple& q : probes) {
+      tree.RangeQuery(q.pt, kEps, [&hits](const Tuple&) { ++hits; });
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeProbeCell)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace pasjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Microbenchmarks of the construction-side hot paths: point location, area
+// classification, adaptive cell assignment (Algorithms 2-4), graph
+// instantiation and Algorithm 1 marking.
+#include <benchmark/benchmark.h>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "datagen/generators.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+
+namespace pasjoin {
+namespace {
+
+struct Fixture {
+  grid::Grid grid;
+  grid::GridStats stats;
+  agreements::AgreementGraph graph;
+  Dataset data;
+
+  static Fixture Make(size_t n) {
+    grid::Grid g =
+        grid::Grid::Make(ContinentalUsMbr(), 0.12, 2.0).MoveValue();
+    Dataset data = datagen::MakePaperDataset(datagen::PaperDataset::kS1, n);
+    grid::GridStats stats(&g);
+    stats.AddSample(Side::kR, data, 0.03, 1);
+    stats.AddSample(Side::kS, data, 0.03, 2);
+    agreements::AgreementGraph graph = agreements::AgreementGraph::Build(
+        g, stats, agreements::Policy::kLPiB);
+    graph.RunDuplicateFreeMarking();
+    return Fixture{std::move(g), std::move(stats), std::move(graph),
+                   std::move(data)};
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture = Fixture::Make(200000);
+  return fixture;
+}
+
+void BM_GridLocate(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.grid.Locate(f.data.tuples[i].pt));
+    i = (i + 1) % f.data.tuples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridLocate);
+
+void BM_ClassifyArea(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& p = f.data.tuples[i].pt;
+    benchmark::DoNotOptimize(f.grid.ClassifyArea(p, f.grid.Locate(p)));
+    i = (i + 1) % f.data.tuples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyArea);
+
+void BM_AdaptiveAssign(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  const core::ReplicationAssigner assigner(&f.grid, &f.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        assigner.Assign(f.data.tuples[i].pt,
+                        (i & 1) != 0 ? Side::kR : Side::kS));
+    i = (i + 1) % f.data.tuples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveAssign);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  const agreements::Policy policy = state.range(0) == 0
+                                        ? agreements::Policy::kLPiB
+                                        : agreements::Policy::kDiff;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        agreements::AgreementGraph::Build(f.grid, f.stats, policy));
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(0)->Arg(1);
+
+void BM_DuplicateFreeMarking(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    agreements::AgreementGraph graph = agreements::AgreementGraph::Build(
+        f.grid, f.stats, agreements::Policy::kLPiB);
+    state.ResumeTiming();
+    graph.RunDuplicateFreeMarking();
+  }
+}
+BENCHMARK(BM_DuplicateFreeMarking);
+
+void BM_StatsAdd(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  grid::GridStats stats(&f.grid);
+  size_t i = 0;
+  for (auto _ : state) {
+    stats.Add(Side::kR, f.data.tuples[i].pt);
+    i = (i + 1) % f.data.tuples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsAdd);
+
+}  // namespace
+}  // namespace pasjoin
+
+BENCHMARK_MAIN();

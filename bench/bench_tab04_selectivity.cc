@@ -1,0 +1,82 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Table 4: result-set selectivity and join result counts for the eps sweep
+// (S1xS2 and R1xS1), the data-size sweep (S1xS2), and R1xR2. Selectivity is
+// results / (|R| * |S|) expressed in percent, as in the paper. Paper shape:
+// selectivity grows roughly quadratically with eps and is constant across
+// the size sweep (the Gaussian generator is scale-free in density shape).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using pasjoin::Dataset;
+using namespace pasjoin::bench;
+
+void PrintRow(const char* label, const Dataset& r, const Dataset& s,
+              const RunConfig& config) {
+  const pasjoin::exec::JobMetrics m = RunAlgorithm("LPiB", r, s, config);
+  const double selectivity_pct =
+      100.0 * static_cast<double>(m.results) /
+      (static_cast<double>(r.size()) * static_cast<double>(s.size()));
+  std::printf("%-24s %12s %14.3e\n", label, WithCommas(m.results).c_str(),
+              selectivity_pct);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pasjoin;
+  using namespace pasjoin::bench;
+  const Defaults defaults = GetDefaults();
+  PrintBanner("Table 4 - join selectivity and result counts",
+              "selectivity (%) = 100 * results / (|R|*|S|)");
+
+  std::printf("%-24s %12s %14s\n", "experiment", "results", "selectivity(%)");
+
+  // eps sweep on S1xS2 and R1xS1.
+  for (const Combo& combo : {PaperCombos()[0], PaperCombos()[1]}) {
+    const Dataset& r = PaperData(
+        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+    const Dataset& s = PaperData(
+        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+    for (const double eps : defaults.eps_sweep) {
+      RunConfig config;
+      config.eps = eps;
+      config.workers = defaults.workers;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s eps=%.3f", combo.name.c_str(),
+                    eps);
+      PrintRow(label, r, s, config);
+    }
+  }
+
+  // Data-size sweep on S1xS2 at the default eps.
+  for (const int factor : {2, 4, 6, 8}) {
+    const size_t n = defaults.base_n * static_cast<size_t>(factor);
+    const Dataset& r = PaperData(datagen::PaperDataset::kS1, n);
+    const Dataset& s = PaperData(datagen::PaperDataset::kS2, n);
+    RunConfig config;
+    config.eps = defaults.eps;
+    config.workers = defaults.workers;
+    config.num_splits = 24 * factor;
+    char label[64];
+    std::snprintf(label, sizeof(label), "S1xS2 size x%d", factor);
+    PrintRow(label, r, s, config);
+  }
+
+  // The real x real combination.
+  {
+    const Combo& combo = PaperCombos()[2];
+    const Dataset& r = PaperData(
+        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+    const Dataset& s = PaperData(
+        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+    RunConfig config;
+    config.eps = defaults.eps;
+    config.workers = defaults.workers;
+    PrintRow("R2xR1 (default eps)", r, s, config);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the full experiment harness (one binary per paper table/figure plus
+# ablations and microbenchmarks) and writes bench_output.txt at the repo
+# root. Knobs:
+#   PASJOIN_BENCH_SCALE  multiplier on the default 1M points per input
+#   PASJOIN_BENCH_REPS   repetitions for time-reporting harnesses (median)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="bench_output.txt"
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "### $(basename "$b")" | tee -a "$OUT"
+    "$b" 2>&1 | tee -a "$OUT"
+  fi
+done
+echo "wrote $OUT"

@@ -1,0 +1,46 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Shared eps-sweep driver for the Figure 10/11/12 harnesses: all three run
+// the same (algorithm x eps x combo) grid and report a different metric.
+#ifndef PASJOIN_BENCH_SWEEP_UTIL_H_
+#define PASJOIN_BENCH_SWEEP_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+
+namespace pasjoin::bench {
+
+/// Runs every algorithm over the eps sweep for the given combo and prints
+/// one row per algorithm with `metric(metrics)` formatted by `format`.
+inline void RunEpsSweep(
+    const Combo& combo, const Defaults& defaults,
+    const std::function<double(const exec::JobMetrics&)>& metric,
+    const char* metric_name, int reps = 1) {
+  const Dataset& r = PaperData(
+      combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+  const Dataset& s = PaperData(
+      combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+  std::printf("\n[%s]  %s by eps\n", combo.name.c_str(), metric_name);
+  std::printf("%-10s", "algorithm");
+  for (const double eps : defaults.eps_sweep) std::printf(" %12.3f", eps);
+  std::printf("\n");
+  for (const std::string& algo : AllAlgorithms()) {
+    std::printf("%-10s", algo.c_str());
+    for (const double eps : defaults.eps_sweep) {
+      RunConfig config;
+      config.eps = eps;
+      config.workers = defaults.workers;
+      config.sample_rate = defaults.sample_rate;
+      const exec::JobMetrics m = RunAlgorithmMedian(algo, r, s, config, reps);
+      std::printf(" %12.4g", metric(m));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace pasjoin::bench
+
+#endif  // PASJOIN_BENCH_SWEEP_UTIL_H_

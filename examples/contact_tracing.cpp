@@ -1,0 +1,97 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Proximity / contact-tracing scenario: two days of location pings from two
+// populations (e.g. staff vs visitors of a campus), each ping carrying a
+// non-spatial payload (user id, device info, timestamp string). Find every
+// cross-population pair of pings within the exposure radius.
+//
+// Demonstrates:
+//   * tuples with payloads and their shuffle cost (the paper's tuple-size
+//     experiments, Figures 16-18);
+//   * carrying attributes through the join vs fetching them afterwards
+//     (Table 5's two strategies) - here we carry them, which the paper shows
+//     is ~3x faster end to end;
+//   * result materialization via collect_results.
+//
+// Build & run:   ./build/examples/contact_tracing
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/adaptive_join.h"
+#include "datagen/generators.h"
+
+namespace {
+
+/// Pings cluster around a handful of buildings plus walking paths.
+pasjoin::Dataset MakePings(const std::string& name, size_t n, uint64_t seed,
+                           size_t payload_bytes) {
+  using namespace pasjoin;
+  datagen::GaussianClustersOptions options;
+  options.num_clusters = 12;          // buildings
+  options.sigma_min = 0.002;          // ~200 m at mid latitudes
+  options.sigma_max = 0.02;
+  options.mbr = Rect{-71.13, 42.35, -71.05, 42.40};  // a campus-sized box
+  Dataset pings = datagen::GenerateGaussianClusters(n, seed, options);
+  pings.name = name;
+  // Attach realistic payloads: "user=...;device=...;ts=..." of the requested
+  // size (the engine accounts these bytes through the shuffle).
+  Rng rng(seed ^ 0xdead);
+  for (Tuple& t : pings.tuples) {
+    std::string payload = "user=" + std::to_string(rng.NextBounded(5000)) +
+                          ";device=phone;ts=2026-07-0" +
+                          std::to_string(1 + rng.NextBounded(7));
+    payload.resize(payload_bytes, '.');
+    t.payload = std::move(payload);
+  }
+  return pings;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pasjoin;
+  const double exposure_radius = 0.0002;  // ~20 m in degrees
+  const size_t payload_bytes = 64;
+
+  const Dataset staff = MakePings("staff", 60000, 11, payload_bytes);
+  const Dataset visitors = MakePings("visitors", 120000, 13, payload_bytes);
+
+  core::AdaptiveJoinOptions options;
+  options.eps = exposure_radius;
+  options.policy = agreements::Policy::kDiff;
+  options.workers = 8;
+  options.collect_results = true;
+  options.carry_payloads = true;  // Table 5's faster strategy
+
+  const Result<exec::JoinRun> run =
+      core::AdaptiveDistanceJoin(staff, visitors, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "join failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const exec::JobMetrics& m = run.value().metrics;
+
+  std::printf("contact tracing: %zu staff pings x %zu visitor pings, "
+              "radius %.4f deg\n",
+              staff.size(), visitors.size(), exposure_radius);
+  std::printf("  exposure pairs found: %llu\n",
+              static_cast<unsigned long long>(m.results));
+  std::printf("  replicated pings: %llu (%.2f%% of all pings)\n",
+              static_cast<unsigned long long>(m.ReplicatedTotal()),
+              100.0 * static_cast<double>(m.ReplicatedTotal()) /
+                  static_cast<double>(staff.size() + visitors.size()));
+  std::printf("  shuffled %.2f MB including %zu-byte payloads\n",
+              m.shuffle_bytes / (1024.0 * 1024.0), payload_bytes);
+  std::printf("  end-to-end %.3fs (construction %.3fs, join %.3fs)\n",
+              m.TotalSeconds(), m.construction_seconds, m.join_seconds);
+
+  // A downstream consumer would now group pairs by user; show a sample.
+  std::printf("  sample exposures (staff ping id, visitor ping id):\n");
+  for (size_t i = 0; i < run.value().pairs.size() && i < 5; ++i) {
+    std::printf("    (%lld, %lld)\n",
+                static_cast<long long>(run.value().pairs[i].r_id),
+                static_cast<long long>(run.value().pairs[i].s_id));
+  }
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// A command-line spatial join tool over CSV point files - the "downstream
+// user" interface to the library.
+//
+// Usage:
+//   spatial_join_cli --left a.csv --right b.csv --eps 0.12
+//       [--algo lpib|diff|uni_r|uni_s|eps_grid|sedona] [--workers N]
+//       [--out pairs.csv] [--demo]
+//
+// Input CSV rows are `id,x,y[,payload]` (see datagen::ReadCsv). With --demo
+// the tool writes two generated sample files first, so it runs out of the
+// box.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/pbsm.h"
+#include "baselines/sedona_like.h"
+#include "core/adaptive_join.h"
+#include "datagen/generators.h"
+#include "datagen/io.h"
+#include "datagen/summary.h"
+
+namespace {
+
+struct CliArgs {
+  std::string left;
+  std::string right;
+  std::string algo = "lpib";
+  std::string out;
+  double eps = 0.12;
+  int workers = 8;
+  bool demo = false;
+  bool stats = false;
+};
+
+void Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --left a.csv --right b.csv --eps 0.12\n"
+               "          [--algo lpib|diff|uni_r|uni_s|eps_grid|sedona]\n"
+               "          [--workers N] [--out pairs.csv] [--demo] [--stats]\n",
+               prog);
+}
+
+bool Parse(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--left") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->left = v;
+    } else if (flag == "--right") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->right = v;
+    } else if (flag == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->algo = v;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out = v;
+    } else if (flag == "--eps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->eps = std::atof(v);
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->workers = std::atoi(v);
+    } else if (flag == "--demo") {
+      args->demo = true;
+    } else if (flag == "--stats") {
+      args->stats = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->demo) return true;
+  return !args->left.empty() && !args->right.empty() && args->eps > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pasjoin;
+  CliArgs args;
+  if (!Parse(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  if (args.demo) {
+    args.left = "/tmp/pasjoin_demo_left.csv";
+    args.right = "/tmp/pasjoin_demo_right.csv";
+    std::printf("writing demo inputs %s, %s\n", args.left.c_str(),
+                args.right.c_str());
+    Status st = datagen::WriteCsv(
+        datagen::MakePaperDataset(datagen::PaperDataset::kS1, 30000),
+        args.left);
+    if (st.ok()) {
+      st = datagen::WriteCsv(
+          datagen::MakePaperDataset(datagen::PaperDataset::kR1, 30000),
+          args.right);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Result<Dataset> left = datagen::ReadCsv(args.left);
+  if (!left.ok()) {
+    std::fprintf(stderr, "%s\n", left.status().ToString().c_str());
+    return 1;
+  }
+  Result<Dataset> right = datagen::ReadCsv(args.right);
+  if (!right.ok()) {
+    std::fprintf(stderr, "%s\n", right.status().ToString().c_str());
+    return 1;
+  }
+  if (args.stats) {
+    for (const Result<Dataset>* d : {&left, &right}) {
+      std::printf("--- %s ---\n%s\n%s", d->value().name.c_str(),
+                  datagen::Summarize(d->value()).ToString().c_str(),
+                  datagen::AsciiDensityMap(d->value()).c_str());
+    }
+  }
+  const bool want_pairs = !args.out.empty();
+
+  Result<exec::JoinRun> run = Status::Internal("unreachable");
+  if (args.algo == "lpib" || args.algo == "diff") {
+    core::AdaptiveJoinOptions options;
+    options.eps = args.eps;
+    options.workers = args.workers;
+    options.policy = args.algo == "lpib" ? agreements::Policy::kLPiB
+                                         : agreements::Policy::kDiff;
+    options.collect_results = want_pairs;
+    run = core::AdaptiveDistanceJoin(left.value(), right.value(), options);
+  } else if (args.algo == "uni_r" || args.algo == "uni_s" ||
+             args.algo == "eps_grid") {
+    baselines::PbsmOptions options;
+    options.eps = args.eps;
+    options.workers = args.workers;
+    options.collect_results = want_pairs;
+    const baselines::PbsmVariant variant =
+        args.algo == "uni_r"   ? baselines::PbsmVariant::kUniR
+        : args.algo == "uni_s" ? baselines::PbsmVariant::kUniS
+                               : baselines::PbsmVariant::kEpsGrid;
+    run = baselines::PbsmDistanceJoin(left.value(), right.value(), variant,
+                                      options);
+  } else if (args.algo == "sedona") {
+    baselines::SedonaOptions options;
+    options.eps = args.eps;
+    options.workers = args.workers;
+    options.collect_results = want_pairs;
+    run = baselines::SedonaLikeDistanceJoin(left.value(), right.value(),
+                                            options);
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", args.algo.c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+
+  if (!run.ok()) {
+    std::fprintf(stderr, "join failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", run.value().metrics.ToString().c_str());
+
+  if (want_pairs) {
+    const Status st = datagen::WritePairsCsv(run.value().pairs, args.out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu pairs to %s\n", run.value().pairs.size(),
+                args.out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Urban analytics scenario: match vehicle activity points (dense along road
+// networks - the TIGER-like distribution) against points of interest (dense
+// inside parks/venues - the OSM-like distribution), reporting every
+// (activity, POI) pair within eps. This is the workload class the paper's
+// introduction motivates: two *differently* skewed data sets, where a global
+// replication choice is always wrong somewhere.
+//
+// The example runs the same join under all five grid algorithms and prints a
+// comparison table, demonstrating why adaptive replication wins.
+//
+// Build & run:   ./build/examples/urban_poi_matching [n_points]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pbsm.h"
+#include "core/adaptive_join.h"
+#include "datagen/generators.h"
+
+namespace {
+
+void PrintRow(const pasjoin::exec::JobMetrics& m) {
+  std::printf("  %-9s %12llu %12.2f %12.2f %10.3f %10llu\n",
+              m.algorithm.c_str(),
+              static_cast<unsigned long long>(m.ReplicatedTotal()),
+              m.shuffle_bytes / (1024.0 * 1024.0),
+              m.shuffle_remote_bytes / (1024.0 * 1024.0), m.TotalSeconds(),
+              static_cast<unsigned long long>(m.results));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pasjoin;
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150000;
+
+  std::printf("generating %zu road-activity points and %zu POI points...\n", n,
+              n / 2);
+  const Dataset activity = datagen::GenerateTigerHydroLike(n, 2026);
+  const Dataset pois = datagen::GenerateOsmParksLike(n / 2, 7);
+  const double eps = 0.12;
+
+  std::printf("\n%-11s %12s %12s %12s %10s %10s\n", "algorithm", "replicated",
+              "shuffleMB", "remoteMB", "time(s)", "results");
+
+  // Adaptive replication, both instantiation policies.
+  for (const auto policy :
+       {agreements::Policy::kLPiB, agreements::Policy::kDiff}) {
+    core::AdaptiveJoinOptions options;
+    options.eps = eps;
+    options.policy = policy;
+    options.workers = 8;
+    const Result<exec::JoinRun> run =
+        core::AdaptiveDistanceJoin(activity, pois, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    PrintRow(run.value().metrics);
+  }
+
+  // PBSM baselines: replicate activity / POIs universally, and the eps-grid.
+  for (const auto variant : {baselines::PbsmVariant::kUniR,
+                             baselines::PbsmVariant::kUniS,
+                             baselines::PbsmVariant::kEpsGrid}) {
+    baselines::PbsmOptions options;
+    options.eps = eps;
+    options.workers = 8;
+    const Result<exec::JoinRun> run =
+        baselines::PbsmDistanceJoin(activity, pois, variant, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    PrintRow(run.value().metrics);
+  }
+
+  std::printf(
+      "\nall rows report the same result count; adaptive replication gets\n"
+      "there while shipping far fewer objects across the cluster.\n");
+  return 0;
+}

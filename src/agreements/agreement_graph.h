@@ -1,0 +1,189 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// The graph of agreements (Section 4): a directed weighted multigraph over
+// grid cells. Every pair of adjacent cells (side- or corner-adjacent) holds
+// an *agreement*: the data set (R or S) whose points are replicated across
+// their common border. The graph decomposes into one fully-connected
+// 4-vertex subgraph per quartet (12 directed edges each); a side-adjacent
+// pair shared by two quartets has one edge pair per quartet - the agreement
+// *type* is identical in both (it is a property of the cell pair) while the
+// *marked/locked* state is per subgraph (it concerns only that quartet's
+// duplicate-prone area).
+//
+// Algorithm 1 (Section 5.2) post-processes every subgraph: in each triangle
+// carrying both agreement types it marks one edge (excluding the tail cell's
+// duplicate-prone points from that replication direction) and locks the two
+// edges whose replication the marking now relies on.
+#ifndef PASJOIN_AGREEMENTS_AGREEMENT_GRAPH_H_
+#define PASJOIN_AGREEMENTS_AGREEMENT_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/tuple.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+
+namespace pasjoin::agreements {
+
+/// The data set replicated under an agreement (tau in the paper).
+enum class AgreementType : uint8_t {
+  kReplicateR = 0,
+  kReplicateS = 1,
+};
+
+/// The agreement type that replicates relation `side`.
+inline AgreementType AgreementFor(Side side) {
+  return side == Side::kR ? AgreementType::kReplicateR
+                          : AgreementType::kReplicateS;
+}
+
+/// The relation an agreement type replicates.
+inline Side ReplicatedSide(AgreementType t) {
+  return t == AgreementType::kReplicateR ? Side::kR : Side::kS;
+}
+
+/// Policy for instantiating agreement types (Section 4.3). The two uniform
+/// policies make PBSM an instance of the graph of agreements (Section 4.4).
+enum class Policy : uint8_t {
+  kLPiB,      ///< least points in boundaries
+  kDiff,      ///< fewest points in the cell with the greatest |#R - #S|
+  kUniformR,  ///< always replicate R (PBSM UNI(R))
+  kUniformS,  ///< always replicate S (PBSM UNI(S))
+};
+
+/// "LPiB", "DIFF", "UNI(R)", "UNI(S)".
+const char* PolicyName(Policy p);
+
+/// Order in which Algorithm 1 examines a subgraph's edges for marking. The
+/// duplicate-free guarantee holds for *any* order (the marking conditions
+/// are local); the order only affects how much replication marking saves.
+enum class MarkingOrder : uint8_t {
+  /// The paper's order (Section 5.2): edges between corner-touching
+  /// (diagonal) cells first - marking them needs no supplementary
+  /// replication (Corollary 4.9) - then side edges; descending weight
+  /// within each group.
+  kPaper,
+  /// Purely by descending weight, ignoring the diagonal/side distinction.
+  kWeightDescending,
+  /// Fixed (tail, head) index order, ignoring weights - the no-information
+  /// baseline.
+  kIndexOrder,
+};
+
+/// "paper", "weight-desc" or "index".
+const char* MarkingOrderName(MarkingOrder order);
+
+/// State of one directed edge e_ij within a quartet subgraph.
+struct EdgeState {
+  /// Estimated processing cost induced by replication i -> j: candidates of
+  /// the replicated set in i times points of the other set in j (Ex. 4.4).
+  float weight = 0.0f;
+  /// Marked: cell i's duplicate-prone-area points are NOT replicated to j.
+  bool marked = false;
+  /// Locked: this edge may no longer be marked (its replication is needed
+  /// for correctness of an earlier marking).
+  bool locked = false;
+};
+
+/// The fully connected 4-vertex subgraph of one quartet. Cell indices are
+/// grid::QuartetCell positions (kSW..kNE); entries with i == j are unused.
+struct QuartetSubgraph {
+  grid::QuartetId id = grid::kInvalidId;
+  /// The quartet's reference point (common touching point of its 4 cells).
+  Point ref;
+  /// CellIds of the member cells by position.
+  grid::CellId cells[4] = {grid::kInvalidId, grid::kInvalidId, grid::kInvalidId,
+                           grid::kInvalidId};
+  /// Pair agreement types (symmetric: type[i][j] == type[j][i]).
+  AgreementType type[4][4] = {};
+  /// Directed edge states; edge[i][j] is e_ij.
+  EdgeState edge[4][4] = {};
+};
+
+/// The instantiated graph of agreements for a grid.
+///
+/// Pair types for side-adjacent cells are stored once (globally) and copied
+/// into each owning subgraph, which guarantees the two subgraph copies agree.
+class AgreementGraph {
+ public:
+  /// Instantiates agreement types and edge weights from sample statistics
+  /// under `policy`, then returns the (not yet duplicate-free) graph.
+  ///
+  /// `tie_break` resolves pairs whose sample statistics cannot discriminate
+  /// (e.g. empty boundary samples under a small sampling rate): LPiB falls
+  /// back to the DIFF criterion, then both fall back to `tie_break` -
+  /// callers pass the globally smaller relation, so undecided regions
+  /// default to the cheaper universal choice.
+  static AgreementGraph Build(
+      const grid::Grid& grid, const grid::GridStats& stats, Policy policy,
+      AgreementType tie_break = AgreementType::kReplicateR);
+
+  /// Runs Algorithm 1 on every subgraph, producing a duplicate-free
+  /// assignment. Idempotent.
+  void RunDuplicateFreeMarking(MarkingOrder order = MarkingOrder::kPaper);
+
+  /// Runs Algorithm 1 on a single subgraph (exposed for tests/ablations).
+  static void MarkSubgraph(QuartetSubgraph* sub,
+                           MarkingOrder order = MarkingOrder::kPaper);
+
+  /// Agreement type between `cell` and its side neighbor in direction
+  /// (dx, dy) (exactly one nonzero). The neighbor must exist.
+  AgreementType PairTypeToward(grid::CellId cell, int dx, int dy) const;
+
+  /// The subgraph of quartet `q`.
+  const QuartetSubgraph& Subgraph(grid::QuartetId q) const {
+    return subgraphs_[q];
+  }
+  QuartetSubgraph* MutableSubgraph(grid::QuartetId q) { return &subgraphs_[q]; }
+
+  const grid::Grid& grid() const { return *grid_; }
+  Policy policy() const { return policy_; }
+
+  /// Diagnostics: total marked / locked directed edges across all subgraphs.
+  size_t CountMarked() const;
+  size_t CountLocked() const;
+
+  /// Overrides the agreement type of the horizontal pair between (cx, cy)
+  /// and (cx+1, cy), keeping every subgraph copy consistent. Must be called
+  /// before RunDuplicateFreeMarking. Exposed so tests can explore the full
+  /// space of graph instances.
+  void SetHorizontalPairType(int cx, int cy, AgreementType t);
+
+  /// Overrides the vertical pair between (cx, cy) and (cx, cy+1).
+  void SetVerticalPairType(int cx, int cy, AgreementType t);
+
+  /// Overrides a diagonal pair of quartet `q`: `which_diagonal` 0 is SW-NE,
+  /// 1 is SE-NW.
+  void SetDiagonalPairType(grid::QuartetId q, int which_diagonal,
+                           AgreementType t);
+
+  /// Test helper: flips every pair type with probability 1/2 and assigns
+  /// random edge weights (to vary Algorithm 1's processing order), using the
+  /// given seed. Must be called before RunDuplicateFreeMarking.
+  void RandomizeForTesting(uint64_t seed);
+
+ private:
+  AgreementGraph(const grid::Grid* grid, Policy policy, AgreementType tie_break);
+
+  AgreementType DecidePairType(const grid::GridStats& stats, grid::CellId a,
+                               grid::CellId b, int dir_ab) const;
+  AgreementType DecideByDiff(const grid::GridStats& stats, grid::CellId a,
+                             grid::CellId b) const;
+
+  const grid::Grid* grid_;
+  Policy policy_;
+  AgreementType tie_break_;
+  /// Horizontal pair types: between (cx, cy) and (cx+1, cy); (nx-1) * ny.
+  std::vector<AgreementType> htype_;
+  /// Vertical pair types: between (cx, cy) and (cx, cy+1); nx * (ny-1).
+  std::vector<AgreementType> vtype_;
+  std::vector<QuartetSubgraph> subgraphs_;
+  bool marking_done_ = false;
+};
+
+}  // namespace pasjoin::agreements
+
+#endif  // PASJOIN_AGREEMENTS_AGREEMENT_GRAPH_H_

@@ -1,0 +1,15 @@
+// Copyright 2026 The pasjoin Authors.
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace pasjoin {
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6f,%.6f  %.6f,%.6f]", min_x, min_y, max_x,
+                max_y);
+  return std::string(buf);
+}
+
+}  // namespace pasjoin

@@ -1,0 +1,127 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// 2-D geometric primitives used throughout the library: points, axis-aligned
+// rectangles, and the MINDIST metrics the paper's replication conditions are
+// stated in (Defs 4.7, 4.10).
+#ifndef PASJOIN_COMMON_GEOMETRY_H_
+#define PASJOIN_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pasjoin {
+
+/// A point in the 2-D data space (coordinates in data units, e.g. degrees).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance between two points. Prefer this over
+/// Distance() in hot loops: the join predicate d(r,s) <= eps is evaluated as
+/// SquaredDistance(r,s) <= eps*eps to avoid the sqrt.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// A closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Width along x. Negative for an invalid rectangle.
+  double Width() const { return max_x - min_x; }
+  /// Height along y. Negative for an invalid rectangle.
+  double Height() const { return max_y - min_y; }
+  /// Area of the rectangle (0 for degenerate rectangles).
+  double Area() const { return std::max(0.0, Width()) * std::max(0.0, Height()); }
+  /// Center point.
+  Point Center() const { return Point{(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  /// True when `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// True when `other` lies fully inside (or on the boundary of) this rect.
+  bool Contains(const Rect& other) const {
+    return other.min_x >= min_x && other.max_x <= max_x && other.min_y >= min_y &&
+           other.max_y <= max_y;
+  }
+
+  /// True when the closed rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return other.min_x <= max_x && other.max_x >= min_x && other.min_y <= max_y &&
+           other.max_y >= min_y;
+  }
+
+  /// Grows the rectangle by `margin` on every side.
+  Rect Expanded(double margin) const {
+    return Rect{min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+  }
+
+  /// Smallest rectangle covering both this and `other`.
+  Rect Union(const Rect& other) const {
+    return Rect{std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+                std::max(max_x, other.max_x), std::max(max_y, other.max_y)};
+  }
+
+  /// Smallest rectangle covering this and the point `p`.
+  Rect Union(const Point& p) const {
+    return Rect{std::min(min_x, p.x), std::min(min_y, p.y), std::max(max_x, p.x),
+                std::max(max_y, p.y)};
+  }
+
+  /// Human-readable form "[min_x,min_y  max_x,max_y]".
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// MINDIST(p, rect): minimum Euclidean distance from point `p` to any point
+/// of the closed rectangle. Zero when `p` is inside the rectangle.
+inline double MinDist(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared MINDIST; see MinDist().
+inline double SquaredMinDist(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+/// MINDIST between two rectangles (0 when they intersect).
+inline double MinDist(const Rect& a, const Rect& b) {
+  const double dx = std::max({b.min_x - a.max_x, 0.0, a.min_x - b.max_x});
+  const double dy = std::max({b.min_y - a.max_y, 0.0, a.min_y - b.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// The common minimum bounding rectangle of the paper's real data sets
+/// (continental United States, in degrees); synthetic data sets are generated
+/// inside the same MBR, per Section 7.1.
+inline Rect ContinentalUsMbr() { return Rect{-124.85, 24.40, -66.88, 49.39}; }
+
+}  // namespace pasjoin
+
+#endif  // PASJOIN_COMMON_GEOMETRY_H_

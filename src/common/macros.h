@@ -1,0 +1,42 @@
+// Copyright 2026 The pasjoin Authors.
+// Internal assertion and utility macros.
+#ifndef PASJOIN_COMMON_MACROS_H_
+#define PASJOIN_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Used for internal invariants
+/// that indicate a programming error (never for user-input validation, which
+/// goes through Status).
+#define PASJOIN_CHECK(cond)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "PASJOIN_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                             \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+/// Like PASJOIN_CHECK but compiled out in release (NDEBUG) builds.
+#ifdef NDEBUG
+#define PASJOIN_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define PASJOIN_DCHECK(cond) PASJOIN_CHECK(cond)
+#endif
+
+/// Disallow copy construction/assignment for a class.
+#define PASJOIN_DISALLOW_COPY(TypeName)  \
+  TypeName(const TypeName&) = delete;    \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define PASJOIN_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::pasjoin::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // PASJOIN_COMMON_MACROS_H_

@@ -1,0 +1,108 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// A minimal inline-storage vector. Cell-assignment lists (Algorithm 2 output)
+// have at most 4 entries for 2eps grids and rarely more than 8 for eps grids,
+// so keeping them inline avoids an allocation per tuple on the hot path.
+#ifndef PASJOIN_COMMON_SMALL_VECTOR_H_
+#define PASJOIN_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pasjoin {
+
+/// Vector with `N` elements of inline storage; spills to the heap beyond N.
+/// Only supports trivially copyable T (sufficient for cell ids and indexes).
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector supports trivially copyable types only");
+
+ public:
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_] = v;
+    } else {
+      overflow_.push_back(v);
+    }
+    ++size_;
+  }
+
+  /// Appends all elements of `other`.
+  template <size_t M>
+  void Append(const SmallVector<T, M>& other) {
+    for (size_t i = 0; i < other.size(); ++i) push_back(other[i]);
+  }
+
+  void clear() {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+  /// Last element; the vector must be non-empty.
+  const T& back() const {
+    PASJOIN_DCHECK(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  /// Removes the last element; the vector must be non-empty.
+  void pop_back() {
+    PASJOIN_DCHECK(size_ > 0);
+    --size_;
+    if (size_ >= N) overflow_.pop_back();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    PASJOIN_DCHECK(i < size_);
+    return i < N ? inline_[i] : overflow_[i - N];
+  }
+  T& operator[](size_t i) {
+    PASJOIN_DCHECK(i < size_);
+    return i < N ? inline_[i] : overflow_[i - N];
+  }
+
+  /// True when `v` is already present (linear scan; lists are tiny).
+  bool Contains(const T& v) const {
+    for (size_t i = 0; i < size_; ++i) {
+      if ((*this)[i] == v) return true;
+    }
+    return false;
+  }
+
+  /// push_back that skips values already present. Returns true if inserted.
+  bool PushBackUnique(const T& v) {
+    if (Contains(v)) return false;
+    push_back(v);
+    return true;
+  }
+
+  /// Copies out to a std::vector (test convenience).
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::array<T, N> inline_{};
+  std::vector<T> overflow_;
+  size_t size_ = 0;
+};
+
+}  // namespace pasjoin
+
+#endif  // PASJOIN_COMMON_SMALL_VECTOR_H_

@@ -1,0 +1,146 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Status / Result<T>: the library's error-handling model. Following the
+// common idiom of database C++ codebases (Arrow, RocksDB, LevelDB), fallible
+// public operations return a Status (or Result<T> when they also produce a
+// value) instead of throwing exceptions.
+#ifndef PASJOIN_COMMON_STATUS_H_
+#define PASJOIN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace pasjoin {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfRange = 3,
+  kNotImplemented = 4,
+  kInternal = 5,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK, or a code plus message.
+///
+/// An OK Status stores no allocation; error states allocate a small payload.
+/// Status is cheap to move and to test (`if (!st.ok()) ...`).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : state_(std::make_unique<State>(State{code, std::move(message)})) {
+    PASJOIN_DCHECK(code != StatusCode::kOk);
+  }
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// Error category; kOk for OK statuses.
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr <=> OK
+};
+
+/// Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a fatal programming error
+/// (checked via PASJOIN_CHECK), mirroring arrow::Result semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PASJOIN_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  /// True when a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status (OK when a value is present).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; fatal if this Result holds an error.
+  const T& value() const& {
+    PASJOIN_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    PASJOIN_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PASJOIN_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out; fatal if this Result holds an error.
+  T MoveValue() {
+    PASJOIN_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pasjoin
+
+#endif  // PASJOIN_COMMON_STATUS_H_

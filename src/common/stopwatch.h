@@ -1,0 +1,46 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Wall-clock timing utilities for phase accounting (construction vs join
+// time, Figure 13c) and worker busy-time attribution.
+#ifndef PASJOIN_COMMON_STOPWATCH_H_
+#define PASJOIN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pasjoin {
+
+/// A monotonic stopwatch. Construction starts it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed wall time to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace pasjoin
+
+#endif  // PASJOIN_COMMON_STOPWATCH_H_

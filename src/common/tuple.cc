@@ -1,0 +1,19 @@
+// Copyright 2026 The pasjoin Authors.
+#include "common/tuple.h"
+
+#include "common/macros.h"
+
+namespace pasjoin {
+
+Rect Dataset::Mbr() const {
+  PASJOIN_CHECK(!tuples.empty());
+  Rect mbr{tuples[0].pt.x, tuples[0].pt.y, tuples[0].pt.x, tuples[0].pt.y};
+  for (const Tuple& t : tuples) mbr = mbr.Union(t.pt);
+  return mbr;
+}
+
+void Dataset::SetPayloadBytes(size_t bytes) {
+  for (Tuple& t : tuples) t.payload.assign(bytes, 'a');
+}
+
+}  // namespace pasjoin

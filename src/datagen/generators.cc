@@ -1,0 +1,250 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace pasjoin::datagen {
+
+namespace {
+
+/// Draws a point inside `mbr`, resampling the supplied sampler until it hits.
+template <typename Sampler>
+Point SampleInside(const Rect& mbr, Rng* rng, Sampler sample) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Point p = sample(rng);
+    if (mbr.Contains(p)) return p;
+  }
+  // Pathological sampler (e.g. cluster far outside): fall back to uniform so
+  // generation always terminates.
+  return Point{rng->NextUniform(mbr.min_x, mbr.max_x),
+               rng->NextUniform(mbr.min_y, mbr.max_y)};
+}
+
+Dataset Finish(std::string name, std::vector<Point> pts) {
+  Dataset out;
+  out.name = std::move(name);
+  out.tuples.reserve(pts.size());
+  int64_t id = 0;
+  for (const Point& p : pts) {
+    out.tuples.push_back(Tuple{id++, p, std::string()});
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateGaussianClusters(size_t n, uint64_t seed,
+                                 const GaussianClustersOptions& options) {
+  PASJOIN_CHECK(options.num_clusters > 0);
+  PASJOIN_CHECK(options.sigma_min > 0 && options.sigma_max >= options.sigma_min);
+  Rng rng(seed);
+  struct Cluster {
+    Point center;
+    double sigma;
+  };
+  std::vector<Cluster> clusters(static_cast<size_t>(options.num_clusters));
+  for (Cluster& c : clusters) {
+    c.center = Point{rng.NextUniform(options.mbr.min_x, options.mbr.max_x),
+                     rng.NextUniform(options.mbr.min_y, options.mbr.max_y)};
+    c.sigma = rng.NextUniform(options.sigma_min, options.sigma_max);
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Cluster& c = clusters[rng.NextBounded(clusters.size())];
+    pts.push_back(SampleInside(options.mbr, &rng, [&c](Rng* r) {
+      return Point{c.center.x + c.sigma * r->NextGaussian(),
+                   c.center.y + c.sigma * r->NextGaussian()};
+    }));
+  }
+  return Finish("gaussian", std::move(pts));
+}
+
+Dataset GenerateUniform(size_t n, uint64_t seed, Rect mbr) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextUniform(mbr.min_x, mbr.max_x),
+                        rng.NextUniform(mbr.min_y, mbr.max_y)});
+  }
+  return Finish("uniform", std::move(pts));
+}
+
+Dataset GenerateTigerHydroLike(size_t n, uint64_t seed, Rect mbr) {
+  Rng rng(seed);
+
+  // "Rivers": meandering polylines; each vertex list is a correlated random
+  // walk. Points are scattered along segments with a small perpendicular
+  // jitter, which produces the thin, dense, strongly non-uniform bands that
+  // hydrography exhibits.
+  struct Polyline {
+    std::vector<Point> vertices;
+    double weight;  // share of river points assigned to this polyline
+  };
+  const int kNumRivers = 800;
+  std::vector<Polyline> rivers;
+  rivers.reserve(kNumRivers);
+  double total_weight = 0.0;
+  for (int i = 0; i < kNumRivers; ++i) {
+    Polyline line;
+    Point cur{rng.NextUniform(mbr.min_x, mbr.max_x),
+              rng.NextUniform(mbr.min_y, mbr.max_y)};
+    double heading = rng.NextUniform(0.0, 6.283185307179586);
+    const int segments = 4 + static_cast<int>(rng.NextBounded(12));
+    const double step = rng.NextUniform(0.1, 0.6);
+    line.vertices.push_back(cur);
+    for (int s = 0; s < segments; ++s) {
+      heading += rng.NextUniform(-0.7, 0.7);
+      cur.x = std::clamp(cur.x + step * std::cos(heading), mbr.min_x, mbr.max_x);
+      cur.y = std::clamp(cur.y + step * std::sin(heading), mbr.min_y, mbr.max_y);
+      line.vertices.push_back(cur);
+    }
+    // Zipf-ish weights: a few major rivers dominate.
+    line.weight = 1.0 / (1.0 + static_cast<double>(i));
+    total_weight += line.weight;
+    rivers.push_back(std::move(line));
+  }
+  // Cumulative distribution over rivers for weighted selection.
+  std::vector<double> cdf(rivers.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < rivers.size(); ++i) {
+    acc += rivers[i].weight / total_weight;
+    cdf[i] = acc;
+  }
+
+  // "Lakes": compact Gaussian blobs.
+  struct Blob {
+    Point center;
+    double sigma;
+  };
+  const int kNumLakes = 400;
+  std::vector<Blob> lakes(kNumLakes);
+  for (Blob& b : lakes) {
+    b.center = Point{rng.NextUniform(mbr.min_x, mbr.max_x),
+                     rng.NextUniform(mbr.min_y, mbr.max_y)};
+    b.sigma = rng.NextUniform(0.02, 0.25);
+  }
+
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double mode = rng.NextDouble();
+    if (mode < 0.70) {
+      // River point: pick a weighted river, a random segment, jitter.
+      const double u = rng.NextDouble();
+      const size_t ri = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const Polyline& line = rivers[std::min(ri, rivers.size() - 1)];
+      const size_t seg = rng.NextBounded(line.vertices.size() - 1);
+      const Point& a = line.vertices[seg];
+      const Point& b = line.vertices[seg + 1];
+      const double t = rng.NextDouble();
+      const double jitter = 0.01;
+      pts.push_back(SampleInside(mbr, &rng, [&](Rng* r) {
+        return Point{a.x + t * (b.x - a.x) + jitter * r->NextGaussian(),
+                     a.y + t * (b.y - a.y) + jitter * r->NextGaussian()};
+      }));
+    } else if (mode < 0.95) {
+      const Blob& blob = lakes[rng.NextBounded(lakes.size())];
+      pts.push_back(SampleInside(mbr, &rng, [&](Rng* r) {
+        return Point{blob.center.x + blob.sigma * r->NextGaussian(),
+                     blob.center.y + blob.sigma * r->NextGaussian()};
+      }));
+    } else {
+      pts.push_back(Point{rng.NextUniform(mbr.min_x, mbr.max_x),
+                          rng.NextUniform(mbr.min_y, mbr.max_y)});
+    }
+  }
+  return Finish("tiger_hydro_like", std::move(pts));
+}
+
+Dataset GenerateOsmParksLike(size_t n, uint64_t seed, Rect mbr) {
+  Rng rng(seed);
+  // "Parks": many small, dense uniform rectangles with skewed sizes.
+  struct Patch {
+    Rect rect;
+  };
+  const int kNumParks = 1500;
+  std::vector<Patch> parks;
+  parks.reserve(kNumParks);
+  for (int i = 0; i < kNumParks; ++i) {
+    // Skewed size distribution: mostly tiny parks, a few large ones.
+    const double size = 0.005 * std::exp(rng.NextUniform(0.0, 4.0));
+    const Point c{rng.NextUniform(mbr.min_x, mbr.max_x),
+                  rng.NextUniform(mbr.min_y, mbr.max_y)};
+    Rect r{c.x - size / 2, c.y - size / 2, c.x + size / 2, c.y + size / 2};
+    r.min_x = std::max(r.min_x, mbr.min_x);
+    r.min_y = std::max(r.min_y, mbr.min_y);
+    r.max_x = std::min(r.max_x, mbr.max_x);
+    r.max_y = std::min(r.max_y, mbr.max_y);
+    parks.push_back(Patch{r});
+  }
+  // Zipf-like popularity: a few parks absorb most of the visits, matching
+  // the heavy density contrast of the real OSM extract.
+  std::vector<double> cdf(parks.size());
+  double total = 0.0;
+  for (size_t i = 0; i < parks.size(); ++i) total += 1.0 / (1.0 + static_cast<double>(i));
+  double acc = 0.0;
+  for (size_t i = 0; i < parks.size(); ++i) {
+    acc += (1.0 / (1.0 + static_cast<double>(i))) / total;
+    cdf[i] = acc;
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.95) {
+      const double u = rng.NextDouble();
+      const size_t pick = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const Patch& park = parks[std::min(pick, parks.size() - 1)];
+      pts.push_back(Point{rng.NextUniform(park.rect.min_x, park.rect.max_x),
+                          rng.NextUniform(park.rect.min_y, park.rect.max_y)});
+    } else {
+      pts.push_back(Point{rng.NextUniform(mbr.min_x, mbr.max_x),
+                          rng.NextUniform(mbr.min_y, mbr.max_y)});
+    }
+  }
+  return Finish("osm_parks_like", std::move(pts));
+}
+
+const char* PaperDatasetName(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::kR1:
+      return "R1";
+    case PaperDataset::kR2:
+      return "R2";
+    case PaperDataset::kS1:
+      return "S1";
+    case PaperDataset::kS2:
+      return "S2";
+  }
+  return "?";
+}
+
+Dataset MakePaperDataset(PaperDataset d, size_t n) {
+  Dataset out;
+  switch (d) {
+    case PaperDataset::kR1:
+      out = GenerateTigerHydroLike(n, /*seed=*/0x71637221);
+      break;
+    case PaperDataset::kR2:
+      out = GenerateOsmParksLike(n, /*seed=*/0x6f736d02);
+      break;
+    case PaperDataset::kS1:
+      out = GenerateGaussianClusters(n, /*seed=*/0x73796e01);
+      break;
+    case PaperDataset::kS2:
+      out = GenerateGaussianClusters(n, /*seed=*/0x73796e02);
+      break;
+  }
+  out.name = PaperDatasetName(d);
+  return out;
+}
+
+}  // namespace pasjoin::datagen

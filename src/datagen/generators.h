@@ -1,0 +1,79 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Synthetic data set generators.
+//
+// The paper evaluates on TIGER/Area-Hydrography (R1, 94.1M), OSM/Parks
+// (R2, 42.7M) and two SYNTHETIC/Gaussian sets (S1/S2, 100M each; 30 clustered
+// areas with per-cluster stddev in [0.1, 0.8], generated in the MBR of the
+// real sets). The real files are not redistributable here, so this module
+// provides:
+//   * GenerateGaussianClusters  - a faithful reimplementation of the paper's
+//     own synthetic generator (Section 7.1);
+//   * GenerateTigerHydroLike    - a stand-in for TIGER hydrography: points
+//     hugging meandering polylines (rivers) plus lake blobs;
+//   * GenerateOsmParksLike      - a stand-in for OSM parks: many small dense
+//     patches plus a sparse background.
+// The stand-ins reproduce the property the algorithm under study is
+// sensitive to: strong, spatially varying density contrast between the two
+// join inputs (see DESIGN.md Section 2).
+//
+// All generators are deterministic in (n, seed, options).
+#ifndef PASJOIN_DATAGEN_GENERATORS_H_
+#define PASJOIN_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/geometry.h"
+#include "common/tuple.h"
+
+namespace pasjoin::datagen {
+
+/// Options for the paper's Gaussian-cluster generator.
+struct GaussianClustersOptions {
+  /// Number of clustered areas (paper: 30).
+  int num_clusters = 30;
+  /// Per-cluster standard deviation range in data units (paper: [0.1, 0.8]).
+  double sigma_min = 0.1;
+  double sigma_max = 0.8;
+  /// Generation region; points are resampled until they fall inside.
+  Rect mbr = ContinentalUsMbr();
+};
+
+/// Generates `n` points from `options.num_clusters` Gaussian clusters with
+/// uniformly drawn centers and stddevs, as specified in Section 7.1.
+Dataset GenerateGaussianClusters(size_t n, uint64_t seed,
+                                 const GaussianClustersOptions& options = {});
+
+/// Generates `n` uniformly distributed points in `mbr`.
+Dataset GenerateUniform(size_t n, uint64_t seed, Rect mbr = ContinentalUsMbr());
+
+/// TIGER/Area-Hydrography stand-in: ~70% of points jittered along meandering
+/// polylines ("rivers"), ~25% in compact blobs ("lakes"), ~5% background.
+Dataset GenerateTigerHydroLike(size_t n, uint64_t seed,
+                               Rect mbr = ContinentalUsMbr());
+
+/// OSM/Parks stand-in: ~95% of points in many small dense rectangular
+/// patches with skewed sizes ("parks"), ~5% background.
+Dataset GenerateOsmParksLike(size_t n, uint64_t seed,
+                             Rect mbr = ContinentalUsMbr());
+
+/// The four data sets of Table 2, by codename.
+enum class PaperDataset {
+  kR1,  ///< TIGER/Area Hydrography stand-in.
+  kR2,  ///< OSM/Parks stand-in.
+  kS1,  ///< SYNTHETIC/Gaussian (first instance).
+  kS2,  ///< SYNTHETIC/Gaussian (second instance).
+};
+
+/// Codename string ("R1", "R2", "S1", "S2").
+const char* PaperDatasetName(PaperDataset d);
+
+/// Builds one of the paper's data sets at `n` points (scaled-down
+/// cardinality). The seed is fixed per codename so R1 is always the same set,
+/// and S1/S2 are two *different* Gaussian instances, as in the paper.
+Dataset MakePaperDataset(PaperDataset d, size_t n);
+
+}  // namespace pasjoin::datagen
+
+#endif  // PASJOIN_DATAGEN_GENERATORS_H_

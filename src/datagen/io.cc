@@ -1,0 +1,167 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace pasjoin::datagen {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr char kBinaryMagic[8] = {'P', 'A', 'S', 'J', 'B', 'I', 'N', '1'};
+
+}  // namespace
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  for (const Tuple& t : dataset.tuples) {
+    if (t.payload.empty()) {
+      if (std::fprintf(f.get(), "%" PRId64 ",%.17g,%.17g\n", t.id, t.pt.x,
+                       t.pt.y) < 0) {
+        return Status::IOError("write failed: " + path);
+      }
+    } else {
+      if (std::fprintf(f.get(), "%" PRId64 ",%.17g,%.17g,%s\n", t.id, t.pt.x,
+                       t.pt.y, t.payload.c_str()) < 0) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  Dataset out;
+  out.name = path;
+  char line[4096];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    // Strip trailing newline.
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len == 0) continue;
+    Tuple t;
+    char payload[4096] = {0};
+    const int fields = std::sscanf(line, "%" SCNd64 ",%lf,%lf,%4095[^\n]", &t.id,
+                                   &t.pt.x, &t.pt.y, payload);
+    if (fields < 3) {
+      return Status::IOError("malformed CSV line " + std::to_string(lineno) +
+                             " in " + path);
+    }
+    if (fields == 4) t.payload = payload;
+    out.tuples.push_back(std::move(t));
+  }
+  return out;
+}
+
+Status WriteBinary(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  if (std::fwrite(kBinaryMagic, 1, sizeof(kBinaryMagic), f.get()) !=
+      sizeof(kBinaryMagic)) {
+    return Status::IOError("write failed: " + path);
+  }
+  const uint64_t count = dataset.tuples.size();
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const Tuple& t : dataset.tuples) {
+    const uint32_t payload_len = static_cast<uint32_t>(t.payload.size());
+    if (std::fwrite(&t.id, sizeof(t.id), 1, f.get()) != 1 ||
+        std::fwrite(&t.pt.x, sizeof(t.pt.x), 1, f.get()) != 1 ||
+        std::fwrite(&t.pt.y, sizeof(t.pt.y), 1, f.get()) != 1 ||
+        std::fwrite(&payload_len, sizeof(payload_len), 1, f.get()) != 1) {
+      return Status::IOError("write failed: " + path);
+    }
+    if (payload_len > 0 &&
+        std::fwrite(t.payload.data(), 1, payload_len, f.get()) != payload_len) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[sizeof(kBinaryMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::IOError("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::IOError("truncated header in " + path);
+  }
+  Dataset out;
+  out.name = path;
+  out.tuples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Tuple t;
+    uint32_t payload_len = 0;
+    if (std::fread(&t.id, sizeof(t.id), 1, f.get()) != 1 ||
+        std::fread(&t.pt.x, sizeof(t.pt.x), 1, f.get()) != 1 ||
+        std::fread(&t.pt.y, sizeof(t.pt.y), 1, f.get()) != 1 ||
+        std::fread(&payload_len, sizeof(payload_len), 1, f.get()) != 1) {
+      return Status::IOError("truncated tuple in " + path);
+    }
+    if (payload_len > 0) {
+      t.payload.resize(payload_len);
+      if (std::fread(t.payload.data(), 1, payload_len, f.get()) != payload_len) {
+        return Status::IOError("truncated payload in " + path);
+      }
+    }
+    out.tuples.push_back(std::move(t));
+  }
+  return out;
+}
+
+Status WritePairsCsv(const std::vector<ResultPair>& pairs,
+                     const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  for (const ResultPair& p : pairs) {
+    if (std::fprintf(f.get(), "%" PRId64 ",%" PRId64 "\n", p.r_id, p.s_id) <
+        0) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ResultPair>> ReadPairsCsv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::vector<ResultPair> out;
+  char line[256];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    ResultPair p;
+    if (std::sscanf(line, "%" SCNd64 ",%" SCNd64, &p.r_id, &p.s_id) != 2) {
+      return Status::IOError("malformed pairs line " + std::to_string(lineno) +
+                             " in " + path);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace pasjoin::datagen

@@ -1,0 +1,38 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Data set (de)serialization. Two formats:
+//   * CSV  - `id,x,y[,payload]`, human-inspectable, interoperable with the
+//            SpatialHadoop text dumps the paper loads from HDFS;
+//   * BIN  - a simple length-prefixed binary format, fast to reload.
+#ifndef PASJOIN_DATAGEN_IO_H_
+#define PASJOIN_DATAGEN_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace pasjoin::datagen {
+
+/// Writes `dataset` to `path` as CSV lines `id,x,y[,payload]`.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV file produced by WriteCsv (payload column optional).
+Result<Dataset> ReadCsv(const std::string& path);
+
+/// Writes `dataset` to `path` in the binary format.
+Status WriteBinary(const Dataset& dataset, const std::string& path);
+
+/// Reads a binary file produced by WriteBinary.
+Result<Dataset> ReadBinary(const std::string& path);
+
+/// Writes join result pairs to `path` as CSV lines `r_id,s_id`.
+Status WritePairsCsv(const std::vector<ResultPair>& pairs,
+                     const std::string& path);
+
+/// Reads a pairs CSV produced by WritePairsCsv.
+Result<std::vector<ResultPair>> ReadPairsCsv(const std::string& path);
+
+}  // namespace pasjoin::datagen
+
+#endif  // PASJOIN_DATAGEN_IO_H_

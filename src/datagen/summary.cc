@@ -1,0 +1,104 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pasjoin::datagen {
+
+namespace {
+
+/// Bins points of `data` into a bins_x x bins_y histogram over its MBR.
+std::vector<size_t> Histogram(const Dataset& data, const Rect& mbr, int bins_x,
+                              int bins_y) {
+  std::vector<size_t> bins(static_cast<size_t>(bins_x) * bins_y, 0);
+  const double w = std::max(mbr.Width(), 1e-12);
+  const double h = std::max(mbr.Height(), 1e-12);
+  for (const Tuple& t : data.tuples) {
+    int bx = static_cast<int>((t.pt.x - mbr.min_x) / w * bins_x);
+    int by = static_cast<int>((t.pt.y - mbr.min_y) / h * bins_y);
+    bx = std::clamp(bx, 0, bins_x - 1);
+    by = std::clamp(by, 0, bins_y - 1);
+    ++bins[static_cast<size_t>(by) * bins_x + bx];
+  }
+  return bins;
+}
+
+}  // namespace
+
+DatasetSummary Summarize(const Dataset& data, int bins_x, int bins_y) {
+  PASJOIN_CHECK(bins_x > 0 && bins_y > 0);
+  DatasetSummary s;
+  s.count = data.tuples.size();
+  s.bins_x = bins_x;
+  s.bins_y = bins_y;
+  if (data.tuples.empty()) return s;
+  s.mbr = data.Mbr();
+  for (const Tuple& t : data.tuples) s.payload_bytes += t.payload.size();
+
+  std::vector<size_t> bins = Histogram(data, s.mbr, bins_x, bins_y);
+  std::vector<size_t> occupied;
+  for (const size_t b : bins) {
+    if (b > 0) occupied.push_back(b);
+  }
+  s.occupied_bins = occupied.size();
+  if (!occupied.empty()) {
+    std::sort(occupied.rbegin(), occupied.rend());
+    s.max_bin_count = occupied.front();
+    const size_t decile = std::max<size_t>(1, occupied.size() / 10);
+    size_t top = 0;
+    for (size_t i = 0; i < decile; ++i) top += occupied[i];
+    s.top_decile_share = static_cast<double>(top) / static_cast<double>(s.count);
+  }
+  return s;
+}
+
+std::string DatasetSummary::ToString() const {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "points: %zu\nmbr: %s\npayload bytes: %llu\n"
+                "histogram: %dx%d, %zu occupied, max bin %zu, "
+                "top-decile share %.2f",
+                count, mbr.ToString().c_str(),
+                static_cast<unsigned long long>(payload_bytes), bins_x, bins_y,
+                occupied_bins, max_bin_count, top_decile_share);
+  return std::string(buf);
+}
+
+std::string AsciiDensityMap(const Dataset& data, int bins_x, int bins_y) {
+  PASJOIN_CHECK(bins_x > 0 && bins_y > 0);
+  if (data.tuples.empty()) return "(empty data set)\n";
+  static const char kScale[] = " .:-=+*#%@";
+  const Rect mbr = data.Mbr();
+  const std::vector<size_t> bins = Histogram(data, mbr, bins_x, bins_y);
+  size_t max_bin = 1;
+  for (const size_t b : bins) max_bin = std::max(max_bin, b);
+
+  std::string out;
+  out.reserve(static_cast<size_t>((bins_x + 1) * bins_y));
+  // Log scale: a bin at 1/1000 of the max still shows up.
+  const double log_max = std::log1p(static_cast<double>(max_bin));
+  for (int by = bins_y - 1; by >= 0; --by) {  // north to south
+    for (int bx = 0; bx < bins_x; ++bx) {
+      const size_t count = bins[static_cast<size_t>(by) * bins_x + bx];
+      if (count == 0) {
+        out.push_back(' ');
+        continue;
+      }
+      const double level =
+          std::log1p(static_cast<double>(count)) / log_max;  // (0, 1]
+      const int idx = std::clamp(
+          static_cast<int>(level * (sizeof(kScale) - 2)), 1,
+          static_cast<int>(sizeof(kScale) - 2));
+      out.push_back(kScale[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pasjoin::datagen

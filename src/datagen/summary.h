@@ -1,0 +1,44 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Data set summaries: cardinality, extent, density statistics and an ASCII
+// density heat map. Used by the CLI (--stats) and handy when deciding join
+// parameters (eps, grid resolution) for unfamiliar data.
+#ifndef PASJOIN_DATAGEN_SUMMARY_H_
+#define PASJOIN_DATAGEN_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/tuple.h"
+
+namespace pasjoin::datagen {
+
+/// Aggregate statistics of a data set over a `bins_x` x `bins_y` histogram.
+struct DatasetSummary {
+  size_t count = 0;
+  Rect mbr;
+  uint64_t payload_bytes = 0;
+  /// Histogram occupancy.
+  int bins_x = 0;
+  int bins_y = 0;
+  size_t occupied_bins = 0;
+  size_t max_bin_count = 0;
+  /// Fraction of points in the densest 10% of occupied bins (skew proxy;
+  /// ~0.1 for uniform data, ->1 for highly clustered data).
+  double top_decile_share = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes the summary of `data` over a histogram of the given shape.
+DatasetSummary Summarize(const Dataset& data, int bins_x = 40, int bins_y = 20);
+
+/// Renders an ASCII heat map of `data` (one character per bin, ' .:-=+*#%@'
+/// scale), rows printed north to south.
+std::string AsciiDensityMap(const Dataset& data, int bins_x = 72,
+                            int bins_y = 24);
+
+}  // namespace pasjoin::datagen
+
+#endif  // PASJOIN_DATAGEN_SUMMARY_H_

@@ -1,0 +1,337 @@
+// Copyright 2026 The pasjoin Authors.
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "exec/thread_pool.h"
+#include "spatial/rtree.h"
+
+namespace pasjoin::exec {
+
+namespace {
+
+/// A tuple instance in flight through the shuffle.
+struct Routed {
+  PartitionId part;
+  Side side;
+  Tuple tuple;
+};
+
+/// Per-logical-worker busy-time accumulator for one phase.
+class PhaseClock {
+ public:
+  explicit PhaseClock(int workers) : busy_(static_cast<size_t>(workers), 0.0) {}
+
+  void Add(int worker, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_[static_cast<size_t>(worker)] += seconds;
+  }
+
+  double Makespan() const {
+    double mx = 0.0;
+    for (double b : busy_) mx = std::max(mx, b);
+    return mx;
+  }
+
+  const std::vector<double>& busy() const { return busy_; }
+
+ private:
+  std::mutex mu_;
+  std::vector<double> busy_;
+};
+
+/// Runs `task(index)` for every index in [0, count) on the pool, attributing
+/// each task's elapsed time to `owner_of(index)` in `clock`.
+template <typename Task, typename OwnerOf>
+void RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
+              OwnerOf&& owner_of, Task&& task) {
+  for (int i = 0; i < count; ++i) {
+    pool->Submit([i, clock, &owner_of, &task] {
+      Stopwatch watch;
+      task(i);
+      clock->Add(owner_of(i), watch.ElapsedSeconds());
+    });
+  }
+  pool->Wait();
+}
+
+struct PartitionBuffers {
+  std::vector<Tuple> r;
+  std::vector<Tuple> s;
+};
+
+struct MapTaskOutput {
+  /// Routed tuples grouped by destination worker.
+  std::vector<std::vector<Routed>> by_worker;
+  uint64_t replicated = 0;
+  uint64_t shuffled_tuples = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t remote_bytes = 0;
+};
+
+}  // namespace
+
+LocalJoinFn PlaneSweepLocalJoin() {
+  return [](std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
+            const std::function<void(const Tuple&, const Tuple&)>& emit) {
+    return spatial::PlaneSweepJoin(r, s, eps, emit);
+  };
+}
+
+LocalJoinFn NestedLoopLocalJoin() {
+  return [](std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
+            const std::function<void(const Tuple&, const Tuple&)>& emit) {
+    return spatial::NestedLoopJoin(*r, *s, eps, emit);
+  };
+}
+
+namespace {
+
+spatial::JoinCounters RTreeProbe(std::vector<Tuple>* r, std::vector<Tuple>* s,
+                                 double eps, bool index_r,
+                                 const std::function<void(const Tuple&,
+                                                          const Tuple&)>& emit) {
+  spatial::JoinCounters counters;
+  if (r->empty() || s->empty()) return counters;
+  const std::vector<Tuple>& indexed = index_r ? *r : *s;
+  const std::vector<Tuple>& probes = index_r ? *s : *r;
+  spatial::RTree tree(indexed);
+  for (const Tuple& q : probes) {
+    counters.candidates += tree.RangeQuery(q.pt, eps, [&](const Tuple& hit) {
+      ++counters.results;
+      if (index_r) {
+        emit(hit, q);
+      } else {
+        emit(q, hit);
+      }
+    });
+  }
+  return counters;
+}
+
+}  // namespace
+
+LocalJoinFn RTreeProbeLocalJoin() {
+  return [](std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
+            const std::function<void(const Tuple&, const Tuple&)>& emit) {
+    // Index the larger side, probe with the smaller.
+    return RTreeProbe(r, s, eps, r->size() >= s->size(), emit);
+  };
+}
+
+LocalJoinFn RTreeProbeLocalJoinIndexing(Side indexed) {
+  return [indexed](std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
+                   const std::function<void(const Tuple&, const Tuple&)>& emit) {
+    return RTreeProbe(r, s, eps, indexed == Side::kR, emit);
+  };
+}
+
+JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
+                           const AssignFn& assign, const OwnerFn& owner,
+                           const EngineOptions& options,
+                           const LocalJoinFn& local_join) {
+  PASJOIN_CHECK(options.eps > 0.0);
+  PASJOIN_CHECK(options.workers >= 1);
+  const int workers = options.workers;
+  const int num_splits = options.num_splits > 0 ? options.num_splits : 4 * workers;
+  const int physical = options.physical_threads > 0 ? options.physical_threads
+                                                    : ThreadPool::DefaultThreads();
+  ThreadPool pool(physical);
+
+  JoinRun run;
+  JobMetrics& m = run.metrics;
+  m.workers = workers;
+  Stopwatch wall;
+
+  // ---------------------------------------------------------------- map ---
+  // Each relation is divided into `num_splits` contiguous splits; split k is
+  // co-located with logical worker k % workers (its "HDFS block locality").
+  const int total_map_tasks = 2 * num_splits;
+  std::vector<MapTaskOutput> map_out(static_cast<size_t>(total_map_tasks));
+  PhaseClock map_clock(workers);
+  auto map_owner = [&](int task) { return (task % num_splits) % workers; };
+  RunPhase(&pool, total_map_tasks, &map_clock, map_owner, [&](int task) {
+    const bool is_r = task < num_splits;
+    const int split = task % num_splits;
+    const Side side = is_r ? Side::kR : Side::kS;
+    const std::vector<Tuple>& tuples = (is_r ? r : s).tuples;
+    const size_t n = tuples.size();
+    const size_t lo = n * static_cast<size_t>(split) / num_splits;
+    const size_t hi = n * (static_cast<size_t>(split) + 1) / num_splits;
+    const int src_worker = split % workers;
+
+    MapTaskOutput& out = map_out[static_cast<size_t>(task)];
+    out.by_worker.resize(static_cast<size_t>(workers));
+    for (size_t i = lo; i < hi; ++i) {
+      const Tuple& t = tuples[i];
+      const PartitionList parts = assign(t, side);
+      PASJOIN_DCHECK(!parts.empty());
+      out.replicated += parts.size() - 1;
+      for (size_t p = 0; p < parts.size(); ++p) {
+        const PartitionId part = parts[p];
+        const int dest = owner(part);
+        Routed routed;
+        routed.part = part;
+        routed.side = side;
+        routed.tuple.id = t.id;
+        routed.tuple.pt = t.pt;
+        if (options.carry_payloads) routed.tuple.payload = t.payload;
+        const uint64_t bytes = routed.tuple.ShuffleBytes();
+        out.shuffled_tuples += 1;
+        out.shuffle_bytes += bytes;
+        if (dest != src_worker) out.remote_bytes += bytes;
+        out.by_worker[static_cast<size_t>(dest)].push_back(std::move(routed));
+      }
+    }
+  });
+  for (int task = 0; task < total_map_tasks; ++task) {
+    const MapTaskOutput& out = map_out[static_cast<size_t>(task)];
+    if (task < num_splits) {
+      m.replicated_r += out.replicated;
+    } else {
+      m.replicated_s += out.replicated;
+    }
+    m.shuffled_tuples += out.shuffled_tuples;
+    m.shuffle_bytes += out.shuffle_bytes;
+    m.shuffle_remote_bytes += out.remote_bytes;
+  }
+
+  // ------------------------------------------------------------ regroup ---
+  // Each worker gathers its inbound tuples into per-partition buffers.
+  std::vector<std::unordered_map<PartitionId, PartitionBuffers>> stores(
+      static_cast<size_t>(workers));
+  PhaseClock regroup_clock(workers);
+  RunPhase(&pool, workers, &regroup_clock, [](int w) { return w; }, [&](int w) {
+    auto& store = stores[static_cast<size_t>(w)];
+    for (MapTaskOutput& out : map_out) {
+      if (out.by_worker.empty()) continue;
+      for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+        PartitionBuffers& buf = store[routed.part];
+        (routed.side == Side::kR ? buf.r : buf.s)
+            .push_back(std::move(routed.tuple));
+      }
+      out.by_worker[static_cast<size_t>(w)].clear();
+    }
+  });
+  map_out.clear();
+  map_out.shrink_to_fit();
+
+  // --------------------------------------------------------------- join ---
+  const bool keep_pairs = options.collect_results || options.deduplicate;
+  std::vector<std::vector<ResultPair>> worker_pairs(
+      static_cast<size_t>(workers));
+  std::vector<spatial::JoinCounters> worker_counters(
+      static_cast<size_t>(workers));
+  std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
+  PhaseClock join_clock(workers);
+  std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
+  RunPhase(&pool, workers, &join_clock, [](int w) { return w; }, [&](int w) {
+    auto& store = stores[static_cast<size_t>(w)];
+    std::vector<ResultPair>* pairs =
+        keep_pairs ? &worker_pairs[static_cast<size_t>(w)] : nullptr;
+    uint64_t* filtered = &worker_filtered[static_cast<size_t>(w)];
+    const bool self_join = options.self_join;
+    // In self-join mode the local join still sees every ordered match; the
+    // emit wrapper keeps only r.id < s.id (each unordered pair once) and
+    // the count is corrected after the phase.
+    std::function<void(const Tuple&, const Tuple&)> emit =
+        [pairs, filtered, self_join](const Tuple& a, const Tuple& b) {
+          if (self_join && a.id >= b.id) {
+            ++*filtered;
+            return;
+          }
+          if (pairs != nullptr) pairs->push_back(ResultPair{a.id, b.id});
+        };
+    for (auto& [part, buf] : store) {
+      (void)part;
+      if (buf.r.empty() || buf.s.empty()) continue;
+      ++worker_partitions[static_cast<size_t>(w)];
+      worker_counters[static_cast<size_t>(w)] +=
+          local_join(&buf.r, &buf.s, options.eps, emit);
+    }
+  });
+  for (int w = 0; w < workers; ++w) {
+    m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
+    m.results += worker_counters[static_cast<size_t>(w)].results -
+                 worker_filtered[static_cast<size_t>(w)];
+    m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
+  }
+  stores.clear();
+
+  // -------------------------------------------------------------- dedup ---
+  // Parallel distinct over the produced pairs (the paper's non-duplicate-
+  // free variant, Table 6): hash-partition pairs across workers, then each
+  // worker removes duplicates in its bucket.
+  PhaseClock dedup_clock(workers);
+  if (options.deduplicate) {
+    std::vector<std::vector<std::vector<ResultPair>>> buckets(
+        static_cast<size_t>(workers));
+    PhaseClock scatter_clock(workers);
+    RunPhase(&pool, workers, &scatter_clock, [](int w) { return w; },
+             [&](int w) {
+               auto& out = buckets[static_cast<size_t>(w)];
+               out.resize(static_cast<size_t>(workers));
+               const ResultPairHash hasher;
+               for (const ResultPair& p :
+                    worker_pairs[static_cast<size_t>(w)]) {
+                 out[hasher(p) % static_cast<size_t>(workers)].push_back(p);
+               }
+             });
+    // Pair bytes crossing workers count as shuffle traffic.
+    for (int src = 0; src < workers; ++src) {
+      for (int dst = 0; dst < workers; ++dst) {
+        if (src == dst) continue;
+        const uint64_t bytes =
+            buckets[static_cast<size_t>(src)][static_cast<size_t>(dst)].size() *
+            sizeof(ResultPair);
+        m.shuffle_bytes += bytes;
+        m.shuffle_remote_bytes += bytes;
+      }
+    }
+    std::vector<std::vector<ResultPair>> unique_pairs(
+        static_cast<size_t>(workers));
+    std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
+    RunPhase(&pool, workers, &dedup_clock, [](int w) { return w; }, [&](int w) {
+      std::unordered_set<ResultPair, ResultPairHash> seen;
+      for (int src = 0; src < workers; ++src) {
+        for (const ResultPair& p :
+             buckets[static_cast<size_t>(src)][static_cast<size_t>(w)]) {
+          if (seen.insert(p).second) {
+            if (options.collect_results) {
+              unique_pairs[static_cast<size_t>(w)].push_back(p);
+            }
+          }
+        }
+      }
+      unique_counts[static_cast<size_t>(w)] = seen.size();
+    });
+    m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
+    m.results = 0;
+    for (int w = 0; w < workers; ++w) {
+      m.results += unique_counts[static_cast<size_t>(w)];
+    }
+    if (options.collect_results) {
+      for (auto& v : unique_pairs) {
+        run.pairs.insert(run.pairs.end(), v.begin(), v.end());
+      }
+    }
+  } else if (options.collect_results) {
+    for (auto& v : worker_pairs) {
+      run.pairs.insert(run.pairs.end(), v.begin(), v.end());
+    }
+  }
+
+  m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
+  m.join_seconds = join_clock.Makespan();
+  m.worker_busy_join = join_clock.busy();
+  m.wall_seconds = wall.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace pasjoin::exec

@@ -1,0 +1,106 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// The miniature data-parallel engine: the C++ stand-in for the Spark
+// substrate of Algorithm 5. It executes the canonical dataflow of every
+// algorithm in this repository:
+//
+//   input splits --map--> (partition, tuple) --shuffle--> per-partition
+//   buffers --local join--> result pairs [--distinct--> deduplicated pairs]
+//
+// The engine is algorithm-agnostic: callers supply the partition-assignment
+// function (adaptive replication, PBSM replication, quadtree, ...), the
+// partition->worker ownership function (hash or LPT), and optionally the
+// local join algorithm (plane sweep by default, R-tree probing for the
+// Sedona-like baseline).
+//
+// Logical-vs-physical parallelism: tasks execute on a host thread pool, but
+// every task is attributed to the *logical* worker that owns it; a phase's
+// simulated duration is the makespan (max per-worker busy time). This makes
+// the paper's scalability experiments meaningful on any host (DESIGN.md §2).
+#ifndef PASJOIN_EXEC_ENGINE_H_
+#define PASJOIN_EXEC_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/small_vector.h"
+#include "common/tuple.h"
+#include "exec/metrics.h"
+#include "spatial/local_join.h"
+
+namespace pasjoin::exec {
+
+/// Identifier of a workload partition (a grid cell or quadtree leaf).
+using PartitionId = int32_t;
+
+/// Partition assignment of one tuple; entry 0 is the native partition,
+/// further entries are replicas.
+using PartitionList = SmallVector<PartitionId, 4>;
+
+/// Maps a tuple of relation `Side` to its partitions.
+using AssignFn = std::function<PartitionList(const Tuple&, Side)>;
+
+/// Maps a partition to its owning logical worker in [0, workers).
+using OwnerFn = std::function<int(PartitionId)>;
+
+/// Joins one partition's buffers; must call `emit(r, s)` per match and
+/// return the work counters. May reorder/modify the buffers.
+using LocalJoinFn = std::function<spatial::JoinCounters(
+    std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
+    const std::function<void(const Tuple&, const Tuple&)>& emit)>;
+
+/// Plane-sweep local join (the default refinement of Algorithm 5).
+LocalJoinFn PlaneSweepLocalJoin();
+
+/// Brute-force local join (oracle/testing).
+LocalJoinFn NestedLoopLocalJoin();
+
+/// Builds an STR R-tree on the larger buffer and probes with the smaller.
+LocalJoinFn RTreeProbeLocalJoin();
+
+/// R-tree probe join that always indexes relation `indexed` (the paper's
+/// Sedona setup indexes the globally larger data set, Section 7.1).
+LocalJoinFn RTreeProbeLocalJoinIndexing(Side indexed);
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Join distance threshold.
+  double eps = 0.0;
+  /// Logical workers (the paper's "nodes"/executors).
+  int workers = 12;
+  /// Input splits per relation; 0 selects 4 * workers.
+  int num_splits = 0;
+  /// Materialize result pairs in JoinRun::pairs.
+  bool collect_results = false;
+  /// Run a parallel distinct step after the join (the non-duplicate-free
+  /// variant of Table 6). Implies internal collection of pairs.
+  bool deduplicate = false;
+  /// Copy payload bytes through the shuffle (Figures 16-18). When false the
+  /// shuffle carries only id+x+y, as in the post-processing variant of
+  /// Table 5.
+  bool carry_payloads = true;
+  /// Self-join mode: both inputs are the same relation; only unordered
+  /// pairs with r.id < s.id are reported (each pair once, no self-pairs).
+  bool self_join = false;
+  /// Physical threads to execute on; 0 selects the host's core count.
+  int physical_threads = 0;
+};
+
+/// Outcome of a partitioned join run.
+struct JoinRun {
+  JobMetrics metrics;
+  /// Result pairs; only populated when EngineOptions::collect_results.
+  std::vector<ResultPair> pairs;
+};
+
+/// Runs the map/shuffle/join dataflow. `assign` decides replication;
+/// `owner` decides placement; `local_join` computes each partition's join.
+JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
+                           const AssignFn& assign, const OwnerFn& owner,
+                           const EngineOptions& options,
+                           const LocalJoinFn& local_join = PlaneSweepLocalJoin());
+
+}  // namespace pasjoin::exec
+
+#endif  // PASJOIN_EXEC_ENGINE_H_

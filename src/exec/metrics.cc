@@ -1,0 +1,24 @@
+// Copyright 2026 The pasjoin Authors.
+#include "exec/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pasjoin::exec {
+
+std::string JobMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s: repl=%" PRIu64 " shuffled=%" PRIu64 " remoteMB=%.2f "
+                "cand=%" PRIu64 " res=%" PRIu64
+                " constr=%.3fs join=%.3fs dedup=%.3fs total=%.3fs wall=%.3fs "
+                "W=%d imbalance=%.2f",
+                algorithm.c_str(), ReplicatedTotal(), shuffled_tuples,
+                static_cast<double>(shuffle_remote_bytes) / (1024.0 * 1024.0),
+                candidates, results, construction_seconds, join_seconds,
+                dedup_seconds, TotalSeconds(), wall_seconds, workers,
+                JoinImbalance());
+  return std::string(buf);
+}
+
+}  // namespace pasjoin::exec

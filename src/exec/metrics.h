@@ -1,0 +1,84 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Observables of one distributed join execution - the quantities the paper
+// reports in its figures: replicated objects (Figs 1b/10/13a), shuffled
+// remote bytes (Figs 11/13b/14b/16-18a), and execution time split into
+// construction and join (Figs 12/13c/14a/15/16-18b).
+#ifndef PASJOIN_EXEC_METRICS_H_
+#define PASJOIN_EXEC_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasjoin::exec {
+
+/// Metrics of one join job.
+struct JobMetrics {
+  /// Human-readable algorithm tag ("LPiB", "UNI(R)", "Sedona", ...).
+  std::string algorithm;
+
+  /// Replica copies created beyond the single native assignment, per side.
+  uint64_t replicated_r = 0;
+  uint64_t replicated_s = 0;
+  uint64_t ReplicatedTotal() const { return replicated_r + replicated_s; }
+
+  /// Tuple instances routed through the shuffle (native + replicas).
+  uint64_t shuffled_tuples = 0;
+  /// Bytes of all shuffled tuple instances.
+  uint64_t shuffle_bytes = 0;
+  /// Bytes whose destination worker differs from the producing split's
+  /// worker - the analogue of Spark's "shuffle remote reads".
+  uint64_t shuffle_remote_bytes = 0;
+
+  /// Candidate pairs distance-checked and qualifying result pairs.
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+
+  /// Number of non-empty partitions joined.
+  uint64_t partitions_joined = 0;
+
+  /// Logical worker count ("nodes" in the paper's Figure 14).
+  int workers = 0;
+
+  /// Simulated parallel times: each phase's makespan is the maximum
+  /// per-logical-worker attributed busy time; driver work (sampling, graph
+  /// construction, broadcast) is sequential and added to construction.
+  double construction_seconds = 0.0;
+  double join_seconds = 0.0;
+  double dedup_seconds = 0.0;
+  /// Total simulated execution time.
+  double TotalSeconds() const {
+    return construction_seconds + join_seconds + dedup_seconds;
+  }
+
+  /// Real elapsed wall time on this host (informational; differs from
+  /// TotalSeconds on hosts with fewer cores than logical workers).
+  double wall_seconds = 0.0;
+
+  /// Per-logical-worker attributed busy seconds of the join phase (used to
+  /// study LPT load balance, Table 7).
+  std::vector<double> worker_busy_join;
+
+  /// Max/avg ratio of the join-phase worker busy times (1.0 = perfectly
+  /// balanced); 0 when unavailable.
+  double JoinImbalance() const {
+    if (worker_busy_join.empty()) return 0.0;
+    double sum = 0.0;
+    double mx = 0.0;
+    for (double b : worker_busy_join) {
+      sum += b;
+      mx = std::max(mx, b);
+    }
+    if (sum <= 0.0) return 0.0;
+    return mx / (sum / static_cast<double>(worker_busy_join.size()));
+  }
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+}  // namespace pasjoin::exec
+
+#endif  // PASJOIN_EXEC_METRICS_H_

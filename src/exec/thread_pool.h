@@ -1,0 +1,55 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// A fixed-size thread pool. The engine submits one task per input split /
+// partition group; physical parallelism is bounded by the host's cores while
+// *logical* worker accounting (which worker would have done the task on the
+// paper's cluster) is tracked separately by the engine.
+#ifndef PASJOIN_EXEC_THREAD_POOL_H_
+#define PASJOIN_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pasjoin::exec {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` threads (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  PASJOIN_DISALLOW_COPY(ThreadPool);
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// A sensible default: the host's hardware concurrency.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pasjoin::exec
+
+#endif  // PASJOIN_EXEC_THREAD_POOL_H_

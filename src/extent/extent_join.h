@@ -1,0 +1,67 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Parallel eps-distance join over objects with extent (polylines/polygons) -
+// the paper's Section 8 future-work direction, built on the same grid and
+// engine substrates as the point join.
+//
+// Because an object's geometry can itself span multiple cells, the
+// agreement machinery of the point algorithm does not carry over directly;
+// this module uses the classic MASJ recipe the paper's related work
+// describes (Section 2): multi-assign both inputs to every cell their
+// (eps-expanded) MBR intersects, and make the result duplicate-free with the
+// reference-point technique of Dittrich & Seeger - each candidate pair is
+// reported only by the unique cell containing the pair's reference point.
+#ifndef PASJOIN_EXTENT_EXTENT_JOIN_H_
+#define PASJOIN_EXTENT_EXTENT_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/metrics.h"
+#include "extent/geometry.h"
+
+namespace pasjoin::extent {
+
+/// A named collection of extended objects forming one join input.
+struct ExtentDataset {
+  std::string name;
+  std::vector<SpatialObject> objects;
+
+  size_t size() const { return objects.size(); }
+  /// MBR over all objects (objects must be non-empty).
+  Rect Mbr() const;
+};
+
+/// Configuration of the extent join.
+struct ExtentJoinOptions {
+  /// Join distance threshold (required, > 0).
+  double eps = 0.0;
+  /// Cell side as a multiple of eps.
+  double resolution_factor = 4.0;
+  /// Logical workers.
+  int workers = 8;
+  /// Physical host threads (0 = auto).
+  int physical_threads = 0;
+  /// Materialize the matched id pairs.
+  bool collect_results = false;
+  /// Data-space MBR; computed from the inputs when unset.
+  Rect mbr;
+};
+
+/// Outcome of an extent join.
+struct ExtentJoinRun {
+  exec::JobMetrics metrics;
+  std::vector<ResultPair> pairs;
+};
+
+/// Computes { (r, s) : d(r, s) <= eps } over extended objects, in parallel,
+/// duplicate-free by the reference-point technique.
+Result<ExtentJoinRun> GridExtentDistanceJoin(const ExtentDataset& r,
+                                             const ExtentDataset& s,
+                                             const ExtentJoinOptions& options);
+
+}  // namespace pasjoin::extent
+
+#endif  // PASJOIN_EXTENT_EXTENT_JOIN_H_

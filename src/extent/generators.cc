@@ -1,0 +1,69 @@
+// Copyright 2026 The pasjoin Authors.
+#include "extent/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pasjoin::extent {
+
+ExtentDataset GenerateRiverPolylines(size_t n, uint64_t seed, const Rect& mbr,
+                                     double scale, int max_segments) {
+  Rng rng(seed);
+  ExtentDataset out;
+  out.name = "river_polylines";
+  out.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SpatialObject obj;
+    obj.id = static_cast<int64_t>(i);
+    obj.closed = false;
+    Point cur{rng.NextUniform(mbr.min_x, mbr.max_x),
+              rng.NextUniform(mbr.min_y, mbr.max_y)};
+    double heading = rng.NextUniform(0.0, 6.283185307179586);
+    const int segments = 1 + static_cast<int>(rng.NextBounded(
+                                 static_cast<uint64_t>(max_segments)));
+    const double step = rng.NextUniform(0.2, 1.0) * scale;
+    obj.vertices.push_back(cur);
+    for (int k = 0; k < segments; ++k) {
+      heading += rng.NextUniform(-0.8, 0.8);
+      cur.x = std::clamp(cur.x + step * std::cos(heading), mbr.min_x, mbr.max_x);
+      cur.y = std::clamp(cur.y + step * std::sin(heading), mbr.min_y, mbr.max_y);
+      obj.vertices.push_back(cur);
+    }
+    out.objects.push_back(std::move(obj));
+  }
+  return out;
+}
+
+ExtentDataset GenerateParkPolygons(size_t n, uint64_t seed, const Rect& mbr,
+                                   double max_radius) {
+  Rng rng(seed);
+  ExtentDataset out;
+  out.name = "park_polygons";
+  out.objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SpatialObject obj;
+    obj.id = static_cast<int64_t>(i);
+    obj.closed = true;
+    const Point center{rng.NextUniform(mbr.min_x, mbr.max_x),
+                       rng.NextUniform(mbr.min_y, mbr.max_y)};
+    const double radius = rng.NextUniform(0.1, 1.0) * max_radius;
+    const int corners = 3 + static_cast<int>(rng.NextBounded(6));
+    const double phase = rng.NextUniform(0.0, 6.283185307179586);
+    for (int k = 0; k < corners; ++k) {
+      // Jittered radius keeps the ring convex-ish but irregular.
+      const double angle =
+          phase + 6.283185307179586 * static_cast<double>(k) / corners;
+      const double rr = radius * rng.NextUniform(0.7, 1.0);
+      Point v{center.x + rr * std::cos(angle), center.y + rr * std::sin(angle)};
+      v.x = std::clamp(v.x, mbr.min_x, mbr.max_x);
+      v.y = std::clamp(v.y, mbr.min_y, mbr.max_y);
+      obj.vertices.push_back(v);
+    }
+    out.objects.push_back(std::move(obj));
+  }
+  return out;
+}
+
+}  // namespace pasjoin::extent

@@ -1,0 +1,26 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Synthetic generators for extended objects: meandering polylines ("rivers",
+// TIGER-like) and convex polygons ("parks", OSM-like).
+#ifndef PASJOIN_EXTENT_GENERATORS_H_
+#define PASJOIN_EXTENT_GENERATORS_H_
+
+#include <cstdint>
+
+#include "extent/extent_join.h"
+
+namespace pasjoin::extent {
+
+/// Generates `n` meandering open polylines with 2..`max_segments`+1 vertices
+/// and typical extent `scale` (in data units), inside `mbr`.
+ExtentDataset GenerateRiverPolylines(size_t n, uint64_t seed, const Rect& mbr,
+                                     double scale = 0.5, int max_segments = 10);
+
+/// Generates `n` convex polygons (regular-ish rings with jitter) with
+/// radius up to `max_radius`, inside `mbr`.
+ExtentDataset GenerateParkPolygons(size_t n, uint64_t seed, const Rect& mbr,
+                                   double max_radius = 0.25);
+
+}  // namespace pasjoin::extent
+
+#endif  // PASJOIN_EXTENT_GENERATORS_H_

@@ -1,0 +1,136 @@
+// Copyright 2026 The pasjoin Authors.
+#include "extent/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace pasjoin::extent {
+
+namespace {
+
+/// Cross product (b - a) x (c - a).
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = Cross(a, b, c);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+/// True when c lies on the closed segment [a, b], assuming collinearity.
+bool OnSegment(const Point& a, const Point& b, const Point& c) {
+  return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Point{a.x + t * dx, a.y + t * dy});
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const int o1 = Orientation(a1, a2, b1);
+  const int o2 = Orientation(a1, a2, b2);
+  const int o3 = Orientation(b1, b2, a1);
+  const int o4 = Orientation(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (o2 == 0 && OnSegment(a1, a2, b2)) return true;
+  if (o3 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (o4 == 0 && OnSegment(b1, b2, a2)) return true;
+  return false;
+}
+
+double SegmentDistance(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min(
+      std::min(PointSegmentDistance(a1, b1, b2), PointSegmentDistance(a2, b1, b2)),
+      std::min(PointSegmentDistance(b1, a1, a2), PointSegmentDistance(b2, a1, a2)));
+}
+
+Rect SpatialObject::Mbr() const {
+  PASJOIN_CHECK(!vertices.empty());
+  Rect mbr{vertices[0].x, vertices[0].y, vertices[0].x, vertices[0].y};
+  for (const Point& v : vertices) mbr = mbr.Union(v);
+  return mbr;
+}
+
+bool SpatialObject::Contains(const Point& p) const {
+  if (!closed || vertices.size() < 3) return false;
+  // Ray casting with boundary inclusion.
+  bool inside = false;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    Point a, b;
+    Segment(i, &a, &b);
+    if (PointSegmentDistance(p, a, b) == 0.0) return true;  // on boundary
+    const bool crosses_y = (a.y > p.y) != (b.y > p.y);
+    if (crosses_y) {
+      const double x_at_y = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (x_at_y > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double ObjectDistance(const SpatialObject& a, const SpatialObject& b) {
+  PASJOIN_CHECK(!a.vertices.empty() && !b.vertices.empty());
+  // Containment: a polygon enclosing any vertex of the other object is at
+  // distance 0 (full enclosure implies every vertex is inside).
+  if (a.closed && a.Contains(b.vertices[0])) return 0.0;
+  if (b.closed && b.Contains(a.vertices[0])) return 0.0;
+
+  // Single-vertex degenerate objects behave as points.
+  double best = Distance(a.vertices[0], b.vertices[0]);
+  const size_t na = a.NumSegments();
+  const size_t nb = b.NumSegments();
+  if (na == 0 && nb == 0) return best;
+  if (na == 0) {
+    for (size_t j = 0; j < nb; ++j) {
+      Point b1, b2;
+      b.Segment(j, &b1, &b2);
+      best = std::min(best, PointSegmentDistance(a.vertices[0], b1, b2));
+    }
+    return best;
+  }
+  if (nb == 0) {
+    for (size_t i = 0; i < na; ++i) {
+      Point a1, a2;
+      a.Segment(i, &a1, &a2);
+      best = std::min(best, PointSegmentDistance(b.vertices[0], a1, a2));
+    }
+    return best;
+  }
+  for (size_t i = 0; i < na; ++i) {
+    Point a1, a2;
+    a.Segment(i, &a1, &a2);
+    for (size_t j = 0; j < nb; ++j) {
+      Point b1, b2;
+      b.Segment(j, &b1, &b2);
+      best = std::min(best, SegmentDistance(a1, a2, b1, b2));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+bool WithinDistance(const SpatialObject& a, const SpatialObject& b,
+                    double eps) {
+  if (MinDist(a.Mbr(), b.Mbr()) > eps) return false;
+  return ObjectDistance(a, b) <= eps;
+}
+
+}  // namespace pasjoin::extent

@@ -1,0 +1,73 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Geometry for objects with spatial extent - polylines and simple polygons.
+// This underpins the extension the paper lists as future work (Section 8):
+// eps-distance joins over non-point objects.
+//
+// Distances follow the usual GIS semantics:
+//   * polyline-polyline: minimum distance between any two segments;
+//   * polygon boundaries are closed rings; a polygon containing a point (or
+//     another object) is at distance 0 from it.
+#ifndef PASJOIN_EXTENT_GEOMETRY_H_
+#define PASJOIN_EXTENT_GEOMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace pasjoin::extent {
+
+/// Distance from point `p` to the closed segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// Minimum distance between closed segments [a1, a2] and [b1, b2]
+/// (0 when they intersect).
+double SegmentDistance(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// True when the closed segments [a1, a2] and [b1, b2] intersect.
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// An object with extent: an open polyline or a simple closed polygon.
+struct SpatialObject {
+  int64_t id = 0;
+  /// Vertex chain; for polygons the last vertex connects back to the first
+  /// (do not repeat it).
+  std::vector<Point> vertices;
+  /// True for polygons (closed rings with interior), false for polylines.
+  bool closed = false;
+
+  /// Number of boundary segments.
+  size_t NumSegments() const {
+    if (vertices.size() < 2) return 0;
+    return closed ? vertices.size() : vertices.size() - 1;
+  }
+
+  /// Endpoints of segment `i` in [0, NumSegments()).
+  void Segment(size_t i, Point* a, Point* b) const {
+    *a = vertices[i];
+    *b = vertices[(i + 1) % vertices.size()];
+  }
+
+  /// Minimum bounding rectangle (undefined for empty objects).
+  Rect Mbr() const;
+
+  /// True when `p` lies inside or on the boundary (polygons only; polylines
+  /// contain no interior points).
+  bool Contains(const Point& p) const;
+};
+
+/// Minimum distance between two objects: 0 when they intersect or one
+/// contains the other; otherwise the minimum boundary-to-boundary distance.
+double ObjectDistance(const SpatialObject& a, const SpatialObject& b);
+
+/// Convenience: true when d(a, b) <= eps. Cheaper than ObjectDistance for
+/// far-apart objects because it can exit on the MBR test.
+bool WithinDistance(const SpatialObject& a, const SpatialObject& b,
+                    double eps);
+
+}  // namespace pasjoin::extent
+
+#endif  // PASJOIN_EXTENT_GEOMETRY_H_

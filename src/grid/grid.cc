@@ -1,0 +1,136 @@
+// Copyright 2026 The pasjoin Authors.
+#include "grid/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace pasjoin::grid {
+
+void SideAdjacentOf(int c, int* a, int* b) {
+  // Flipping the x-bit gives the horizontal neighbor, the y-bit the vertical.
+  *a = c ^ 1;
+  *b = c ^ 2;
+}
+
+Grid::Grid(const Rect& mbr, double eps, int nx, int ny)
+    : mbr_(mbr),
+      eps_(eps),
+      nx_(nx),
+      ny_(ny),
+      cell_w_(mbr.Width() / nx),
+      cell_h_(mbr.Height() / ny) {}
+
+Result<Grid> Grid::Make(const Rect& mbr, double eps, double resolution_factor) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (!(mbr.Width() > 0.0) || !(mbr.Height() > 0.0)) {
+    return Status::InvalidArgument("MBR must have positive extent: " +
+                                   mbr.ToString());
+  }
+  if (resolution_factor < 2.0) {
+    return Status::InvalidArgument(
+        "resolution factor must be >= 2 (cells must exceed 2*eps, Sect. 4.1)");
+  }
+  const double target = resolution_factor * eps;
+  int nx = std::max(1, static_cast<int>(std::floor(mbr.Width() / target)));
+  int ny = std::max(1, static_cast<int>(std::floor(mbr.Height() / target)));
+  // The paper requires cell sides *strictly* greater than 2*eps; shrink the
+  // cell count until that holds (relevant when the MBR divides exactly).
+  while (nx > 1 && mbr.Width() / nx <= 2.0 * eps) --nx;
+  while (ny > 1 && mbr.Height() / ny <= 2.0 * eps) --ny;
+  if (mbr.Width() / nx <= 2.0 * eps || mbr.Height() / ny <= 2.0 * eps) {
+    return Status::InvalidArgument(
+        "MBR too small relative to eps: cannot build cells larger than 2*eps");
+  }
+  return Grid(mbr, eps, nx, ny);
+}
+
+Result<Grid> Grid::MakeForBaseline(const Rect& mbr, double eps,
+                                   double resolution_factor) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (!(mbr.Width() > 0.0) || !(mbr.Height() > 0.0)) {
+    return Status::InvalidArgument("MBR must have positive extent: " +
+                                   mbr.ToString());
+  }
+  if (!(resolution_factor > 0.0)) {
+    return Status::InvalidArgument("resolution factor must be positive");
+  }
+  const double target = resolution_factor * eps;
+  const int nx = std::max(1, static_cast<int>(std::floor(mbr.Width() / target)));
+  const int ny = std::max(1, static_cast<int>(std::floor(mbr.Height() / target)));
+  return Grid(mbr, eps, nx, ny);
+}
+
+CellId Grid::Locate(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - mbr_.min_x) / cell_w_));
+  int cy = static_cast<int>(std::floor((p.y - mbr_.min_y) / cell_h_));
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return CellIdOf(cx, cy);
+}
+
+Rect Grid::CellRect(CellId id) const {
+  PASJOIN_DCHECK(id >= 0 && id < num_cells());
+  const int cx = CellX(id);
+  const int cy = CellY(id);
+  return Rect{mbr_.min_x + cx * cell_w_, mbr_.min_y + cy * cell_h_,
+              mbr_.min_x + (cx + 1) * cell_w_, mbr_.min_y + (cy + 1) * cell_h_};
+}
+
+int Grid::PositionInQuartet(QuartetId q, CellId cell) const {
+  for (int which = 0; which < 4; ++which) {
+    if (QuartetCellId(q, which) == cell) return which;
+  }
+  return -1;
+}
+
+AreaInfo Grid::ClassifyArea(const Point& p, CellId cell) const {
+  const int cx = CellX(cell);
+  const int cy = CellY(cell);
+  const Rect rect = CellRect(cell);
+
+  // Distance to each internal border; borders on the grid boundary never
+  // trigger replication (there is no neighbor behind them).
+  const bool near_left = cx > 0 && (p.x - rect.min_x) <= eps_;
+  const bool near_right = cx < nx_ - 1 && (rect.max_x - p.x) <= eps_;
+  const bool near_bottom = cy > 0 && (p.y - rect.min_y) <= eps_;
+  const bool near_top = cy < ny_ - 1 && (rect.max_y - p.y) <= eps_;
+
+  // Cell sides strictly exceed 2*eps, so at most one border per axis is near.
+  PASJOIN_DCHECK(!(near_left && near_right));
+  PASJOIN_DCHECK(!(near_bottom && near_top));
+
+  AreaInfo info;
+  info.dx = near_left ? -1 : (near_right ? +1 : 0);
+  info.dy = near_bottom ? -1 : (near_top ? +1 : 0);
+  if (info.dx == 0 && info.dy == 0) {
+    info.kind = AreaKind::kNone;
+    return info;
+  }
+  if (info.dx != 0 && info.dy != 0) {
+    info.kind = AreaKind::kCorner;
+    const int qx = cx + (info.dx > 0 ? 1 : 0);
+    const int qy = cy + (info.dy > 0 ? 1 : 0);
+    info.quartet = QuartetIdOf(qx, qy);
+    // Both neighbors exist, hence the corner touches 4 cells and is interior.
+    PASJOIN_DCHECK(info.quartet != kInvalidId);
+    return info;
+  }
+  info.kind = AreaKind::kPlain;
+  return info;
+}
+
+std::string Grid::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "grid %dx%d, cell %.6gx%.6g, eps %.6g", nx_,
+                ny_, cell_w_, cell_h_, eps_);
+  return std::string(buf);
+}
+
+}  // namespace pasjoin::grid

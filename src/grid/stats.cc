@@ -1,0 +1,90 @@
+// Copyright 2026 The pasjoin Authors.
+#include "grid/stats.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace pasjoin::grid {
+
+namespace {
+// Order matches DirIndex/DirOffset below.
+constexpr int kDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+constexpr int kDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+}  // namespace
+
+int DirIndex(int dx, int dy) {
+  PASJOIN_DCHECK(dx >= -1 && dx <= 1 && dy >= -1 && dy <= 1 && (dx != 0 || dy != 0));
+  const int raw = (dy + 1) * 3 + (dx + 1);  // 0..8 with center == 4
+  return raw < 4 ? raw : raw - 1;
+}
+
+void DirOffset(int dir, int* dx, int* dy) {
+  PASJOIN_DCHECK(dir >= 0 && dir < 8);
+  *dx = kDx[dir];
+  *dy = kDy[dir];
+}
+
+GridStats::GridStats(const Grid* grid) : grid_(grid) {
+  const size_t cells = static_cast<size_t>(grid->num_cells());
+  for (int s = 0; s < 2; ++s) {
+    totals_[s].assign(cells, 0);
+    bands_[s].assign(cells * 8, 0);
+  }
+}
+
+void GridStats::Add(Side side, const Point& p) {
+  const int s = static_cast<int>(side);
+  const CellId cell = grid_->Locate(p);
+  ++totals_[s][cell];
+  ++sample_size_[s];
+
+  const Rect rect = grid_->CellRect(cell);
+  const int cx = grid_->CellX(cell);
+  const int cy = grid_->CellY(cell);
+  const double eps = grid_->eps();
+
+  // Distances to the four borders (clamped at 0 for points exactly outside
+  // the cell due to clamping in Locate).
+  const double dl = p.x - rect.min_x;
+  const double dr = rect.max_x - p.x;
+  const double db = p.y - rect.min_y;
+  const double dt = rect.max_y - p.y;
+
+  const bool near_l = cx > 0 && dl <= eps;
+  const bool near_r = cx < grid_->nx() - 1 && dr <= eps;
+  const bool near_b = cy > 0 && db <= eps;
+  const bool near_t = cy < grid_->ny() - 1 && dt <= eps;
+
+  uint32_t* band = &bands_[s][static_cast<size_t>(cell) * 8];
+  if (near_l) ++band[DirIndex(-1, 0)];
+  if (near_r) ++band[DirIndex(1, 0)];
+  if (near_b) ++band[DirIndex(0, -1)];
+  if (near_t) ++band[DirIndex(0, 1)];
+
+  const double eps2 = eps * eps;
+  // Diagonal neighbors: MINDIST equals the distance to the shared corner.
+  if (near_l && near_b && dl * dl + db * db <= eps2) ++band[DirIndex(-1, -1)];
+  if (near_r && near_b && dr * dr + db * db <= eps2) ++band[DirIndex(1, -1)];
+  if (near_l && near_t && dl * dl + dt * dt <= eps2) ++band[DirIndex(-1, 1)];
+  if (near_r && near_t && dr * dr + dt * dt <= eps2) ++band[DirIndex(1, 1)];
+}
+
+size_t GridStats::AddSample(Side side, const Dataset& dataset, double rate,
+                            uint64_t seed) {
+  PASJOIN_CHECK(rate > 0.0 && rate <= 1.0);
+  Rng rng(seed);
+  size_t sampled = 0;
+  for (const Tuple& t : dataset.tuples) {
+    if (rate >= 1.0 || rng.NextBernoulli(rate)) {
+      Add(side, t.pt);
+      ++sampled;
+    }
+  }
+  if (sampled > 0) {
+    SetScale(side, static_cast<double>(dataset.tuples.size()) /
+                       static_cast<double>(sampled));
+  }
+  return sampled;
+}
+
+}  // namespace pasjoin::grid

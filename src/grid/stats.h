@@ -1,0 +1,91 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Per-cell sample statistics (the first "dictionary" of Section 5.1).
+//
+// During the sampling phase each sampled point contributes to:
+//   * the total count of its cell (per data set side), and
+//   * one "band" count per neighboring cell within MINDIST <= eps of the
+//     point, i.e. the count of replication candidates toward that neighbor.
+// These statistics drive the agreement-type policies (LPiB needs band
+// counts, DIFF needs totals), the edge weights of the graph of agreements
+// (Example 4.4), and the LPT cost estimates (Section 6.2).
+#ifndef PASJOIN_GRID_STATS_H_
+#define PASJOIN_GRID_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tuple.h"
+#include "grid/grid.h"
+
+namespace pasjoin::grid {
+
+/// Index of a neighbor direction (dx, dy), dx/dy in {-1,0,+1}, not both 0.
+/// Returns a value in [0, 8).
+int DirIndex(int dx, int dy);
+
+/// The (dx, dy) offsets for direction index `dir` in [0, 8).
+void DirOffset(int dir, int* dx, int* dy);
+
+/// Sample-derived per-cell counts for both join inputs.
+class GridStats {
+ public:
+  /// Creates empty statistics for `grid`. The grid must outlive the stats.
+  explicit GridStats(const Grid* grid);
+
+  /// Records one sampled point of relation `side`.
+  void Add(Side side, const Point& p);
+
+  /// Records every `rate`-th... no: records each tuple of `dataset`
+  /// independently with probability `rate` using `seed` (Bernoulli sampling,
+  /// matching Spark's sample()). Returns the number of sampled tuples.
+  size_t AddSample(Side side, const Dataset& dataset, double rate,
+                   uint64_t seed);
+
+  /// Total sampled points of `side` in `cell`.
+  uint32_t CellCount(Side side, CellId cell) const {
+    return totals_[static_cast<int>(side)][cell];
+  }
+
+  /// Sampled points of `side` in `cell` that are replication candidates
+  /// toward the neighbor in direction `dir` (see DirIndex).
+  uint32_t BandCount(Side side, CellId cell, int dir) const {
+    return bands_[static_cast<int>(side)][static_cast<size_t>(cell) * 8 + dir];
+  }
+
+  /// Estimated number of candidate pairs (|R_i| * |S_i|) for `cell`, scaled
+  /// from the sample by both sampling rates. This is the per-cell cost LPT
+  /// balances (Section 6.2). Replication contributions are intentionally
+  /// ignored: they are small once adaptive replication minimizes them.
+  double EstimatedCellCost(CellId cell) const {
+    return (CellCount(Side::kR, cell) * scale_[0]) *
+           (CellCount(Side::kS, cell) * scale_[1]);
+  }
+
+  /// Number of sampled points per side.
+  uint64_t SampleSize(Side side) const {
+    return sample_size_[static_cast<int>(side)];
+  }
+
+  /// Sample-to-population scale factor used by EstimatedCellCost.
+  void SetScale(Side side, double scale) {
+    scale_[static_cast<int>(side)] = scale;
+  }
+
+  /// The sample-to-population scale factor of `side` (1.0 by default or for
+  /// full sampling).
+  double Scale(Side side) const { return scale_[static_cast<int>(side)]; }
+
+  const Grid& grid() const { return *grid_; }
+
+ private:
+  const Grid* grid_;
+  std::vector<uint32_t> totals_[2];  // [side][cell]
+  std::vector<uint32_t> bands_[2];   // [side][cell * 8 + dir]
+  uint64_t sample_size_[2] = {0, 0};
+  double scale_[2] = {1.0, 1.0};
+};
+
+}  // namespace pasjoin::grid
+
+#endif  // PASJOIN_GRID_STATS_H_

@@ -1,0 +1,25 @@
+// Copyright 2026 The pasjoin Authors.
+#include "spatial/local_join.h"
+
+namespace pasjoin::spatial {
+
+std::vector<ResultPair> NestedLoopJoinPairs(const std::vector<Tuple>& r,
+                                            const std::vector<Tuple>& s,
+                                            double eps) {
+  std::vector<ResultPair> out;
+  NestedLoopJoin(r, s, eps, [&out](const Tuple& a, const Tuple& b) {
+    out.push_back(ResultPair{a.id, b.id});
+  });
+  return out;
+}
+
+std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple> r,
+                                            std::vector<Tuple> s, double eps) {
+  std::vector<ResultPair> out;
+  PlaneSweepJoin(&r, &s, eps, [&out](const Tuple& a, const Tuple& b) {
+    out.push_back(ResultPair{a.id, b.id});
+  });
+  return out;
+}
+
+}  // namespace pasjoin::spatial

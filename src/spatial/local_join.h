@@ -1,0 +1,98 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Single-partition (in-memory) eps-distance join algorithms. These run
+// inside one grid cell / partition after the shuffle:
+//   * NestedLoopJoin - O(|R|*|S|); the oracle used by tests and the cost
+//     model of Table 1;
+//   * PlaneSweepJoin - sort both sides by x and sweep, checking the distance
+//     predicate inside the eps-window; this is the refinement step of
+//     Algorithm 5 ("computing distance join at partition-level").
+#ifndef PASJOIN_SPATIAL_LOCAL_JOIN_H_
+#define PASJOIN_SPATIAL_LOCAL_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace pasjoin::spatial {
+
+/// Work counters of a local join.
+struct JoinCounters {
+  /// Pairs whose exact distance was evaluated (candidates after filtering).
+  uint64_t candidates = 0;
+  /// Pairs satisfying d(r, s) <= eps.
+  uint64_t results = 0;
+
+  JoinCounters& operator+=(const JoinCounters& o) {
+    candidates += o.candidates;
+    results += o.results;
+    return *this;
+  }
+};
+
+/// Brute-force join; emits every (r, s) with d(r, s) <= eps via
+/// `emit(const Tuple&, const Tuple&)`.
+template <typename Emit>
+JoinCounters NestedLoopJoin(const std::vector<Tuple>& r,
+                            const std::vector<Tuple>& s, double eps,
+                            Emit&& emit) {
+  JoinCounters counters;
+  const double eps2 = eps * eps;
+  for (const Tuple& a : r) {
+    for (const Tuple& b : s) {
+      ++counters.candidates;
+      if (SquaredDistance(a.pt, b.pt) <= eps2) {
+        ++counters.results;
+        emit(a, b);
+      }
+    }
+  }
+  return counters;
+}
+
+/// Plane-sweep join along the x axis. Sorts both inputs in place (partition
+/// buffers are owned by the caller, so in-place sorting avoids copies), then
+/// sweeps an eps-window; only pairs with |r.x - s.x| <= eps reach the exact
+/// distance check.
+template <typename Emit>
+JoinCounters PlaneSweepJoin(std::vector<Tuple>* r, std::vector<Tuple>* s,
+                            double eps, Emit&& emit) {
+  JoinCounters counters;
+  if (r->empty() || s->empty()) return counters;
+  auto by_x = [](const Tuple& a, const Tuple& b) { return a.pt.x < b.pt.x; };
+  std::sort(r->begin(), r->end(), by_x);
+  std::sort(s->begin(), s->end(), by_x);
+
+  const double eps2 = eps * eps;
+  size_t s_lo = 0;
+  for (const Tuple& a : *r) {
+    // Advance the window start: s points left of a.x - eps can never match
+    // this or any later r (r is x-sorted).
+    while (s_lo < s->size() && (*s)[s_lo].pt.x < a.pt.x - eps) ++s_lo;
+    for (size_t j = s_lo; j < s->size(); ++j) {
+      const Tuple& b = (*s)[j];
+      if (b.pt.x > a.pt.x + eps) break;
+      ++counters.candidates;
+      const double dy = a.pt.y - b.pt.y;
+      if (dy > eps || dy < -eps) continue;
+      if (SquaredDistance(a.pt, b.pt) <= eps2) {
+        ++counters.results;
+        emit(a, b);
+      }
+    }
+  }
+  return counters;
+}
+
+/// Convenience wrappers that collect the matched id pairs.
+std::vector<ResultPair> NestedLoopJoinPairs(const std::vector<Tuple>& r,
+                                            const std::vector<Tuple>& s,
+                                            double eps);
+std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple> r,
+                                            std::vector<Tuple> s, double eps);
+
+}  // namespace pasjoin::spatial
+
+#endif  // PASJOIN_SPATIAL_LOCAL_JOIN_H_

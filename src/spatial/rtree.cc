@@ -1,0 +1,82 @@
+// Copyright 2026 The pasjoin Authors.
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace pasjoin::spatial {
+
+RTree::RTree(const std::vector<Tuple>& points) : points_(&points) {
+  const size_t n = points.size();
+  if (n == 0) return;
+
+  // --- STR leaf packing ---------------------------------------------------
+  entry_order_.resize(n);
+  std::iota(entry_order_.begin(), entry_order_.end(), 0);
+  const int leaf_count =
+      static_cast<int>((n + kFanout - 1) / static_cast<size_t>(kFanout));
+  const int num_slices =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(leaf_count))));
+  const size_t slice_size =
+      (n + num_slices - 1) / static_cast<size_t>(num_slices);
+
+  std::sort(entry_order_.begin(), entry_order_.end(),
+            [&points](int32_t a, int32_t b) {
+              return points[a].pt.x < points[b].pt.x;
+            });
+  for (size_t lo = 0; lo < n; lo += slice_size) {
+    const size_t hi = std::min(n, lo + slice_size);
+    std::sort(entry_order_.begin() + lo, entry_order_.begin() + hi,
+              [&points](int32_t a, int32_t b) {
+                return points[a].pt.y < points[b].pt.y;
+              });
+  }
+
+  // Build leaves over consecutive runs of kFanout entries.
+  std::vector<int32_t> level;  // node indexes of the level under construction
+  for (size_t lo = 0; lo < n; lo += kFanout) {
+    const size_t hi = std::min(n, lo + static_cast<size_t>(kFanout));
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<int32_t>(lo);
+    leaf.count = static_cast<int32_t>(hi - lo);
+    const Point& p0 = points[entry_order_[lo]].pt;
+    leaf.bounds = Rect{p0.x, p0.y, p0.x, p0.y};
+    for (size_t i = lo + 1; i < hi; ++i) {
+      leaf.bounds = leaf.bounds.Union(points[entry_order_[i]].pt);
+    }
+    level.push_back(static_cast<int32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // --- pack upper levels ----------------------------------------------------
+  // Children of one parent are consecutive in nodes_, so Node::first can
+  // index the first child directly.
+  while (level.size() > 1) {
+    std::vector<int32_t> parents;
+    for (size_t lo = 0; lo < level.size(); lo += kFanout) {
+      const size_t hi = std::min(level.size(), lo + static_cast<size_t>(kFanout));
+      Node parent;
+      parent.leaf = false;
+      parent.first = level[lo];
+      parent.count = static_cast<int32_t>(hi - lo);
+      parent.bounds = nodes_[level[lo]].bounds;
+      for (size_t i = lo + 1; i < hi; ++i) {
+        // Levels are built append-only, so children are consecutive.
+        PASJOIN_DCHECK(level[i] == level[lo] + static_cast<int32_t>(i - lo));
+        parent.bounds = parent.bounds.Union(nodes_[level[i]].bounds);
+      }
+      parents.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+}  // namespace pasjoin::spatial

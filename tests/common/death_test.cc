@@ -1,0 +1,42 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Contract-violation (death) tests: PASJOIN_CHECK aborts the process with a
+// diagnostic when library invariants are broken by the caller.
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/lpt_scheduler.h"
+#include "exec/thread_pool.h"
+
+namespace pasjoin {
+namespace {
+
+TEST(DeathTest, CheckMacroAborts) {
+  EXPECT_DEATH({ PASJOIN_CHECK(1 == 2); }, "PASJOIN_CHECK failed");
+}
+
+TEST(DeathTest, ResultValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::Internal("boom"));
+        (void)r.value();
+      },
+      "PASJOIN_CHECK failed");
+}
+
+TEST(DeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r(Status::OK()); }, "PASJOIN_CHECK failed");
+}
+
+TEST(DeathTest, ThreadPoolRequiresAtLeastOneThread) {
+  EXPECT_DEATH({ exec::ThreadPool pool(0); }, "PASJOIN_CHECK failed");
+}
+
+TEST(DeathTest, LptRequiresWorkers) {
+  EXPECT_DEATH({ core::CellAssignment::Lpt({1.0}, 0); },
+               "PASJOIN_CHECK failed");
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,97 @@
+// Copyright 2026 The pasjoin Authors.
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({-1, -1}, {-1, -1}), 0.0);
+}
+
+TEST(RectTest, BasicAccessors) {
+  const Rect r{1, 2, 4, 8};
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 18.0);
+  EXPECT_EQ(r.Center(), (Point{2.5, 5.0}));
+}
+
+TEST(RectTest, ContainsPointIncludesBoundary) {
+  const Rect r{0, 0, 1, 1};
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 1}));
+  EXPECT_FALSE(r.Contains(Point{1.0001, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{0.5, -0.0001}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.Contains(Rect{1, 1, 9, 9}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect{-1, 1, 9, 9}));
+}
+
+TEST(RectTest, IntersectsIsClosed) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_TRUE(a.Intersects(Rect{1, 1, 2, 2}));  // corner touch
+  EXPECT_TRUE(a.Intersects(Rect{0.5, 0.5, 2, 2}));
+  EXPECT_FALSE(a.Intersects(Rect{1.01, 0, 2, 1}));
+}
+
+TEST(RectTest, ExpandedAndUnion) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_EQ(a.Expanded(0.5), (Rect{-0.5, -0.5, 1.5, 1.5}));
+  EXPECT_EQ(a.Union(Rect{2, 2, 3, 3}), (Rect{0, 0, 3, 3}));
+  EXPECT_EQ(a.Union(Point{-1, 0.5}), (Rect{-1, 0, 1, 1}));
+}
+
+TEST(MinDistTest, PointToRect) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist(Point{1, 1}, r), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDist(Point{2, 2}, r), 0.0);   // on corner
+  EXPECT_DOUBLE_EQ(MinDist(Point{3, 1}, r), 1.0);   // right of
+  EXPECT_DOUBLE_EQ(MinDist(Point{1, -2}, r), 2.0);  // below
+  EXPECT_DOUBLE_EQ(MinDist(Point{5, 6}, r), 5.0);   // diagonal (3-4-5)
+  EXPECT_DOUBLE_EQ(SquaredMinDist(Point{5, 6}, r), 25.0);
+}
+
+TEST(MinDistTest, RectToRect) {
+  EXPECT_DOUBLE_EQ(MinDist(Rect{0, 0, 1, 1}, Rect{0.5, 0.5, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(Rect{0, 0, 1, 1}, Rect{2, 0, 3, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(MinDist(Rect{0, 0, 1, 1}, Rect{4, 5, 6, 7}), 5.0);
+}
+
+TEST(MinDistTest, MatchesBruteForceSampling) {
+  // MINDIST(p, rect) must lower-bound the distance to every point in rect.
+  const Rect r{-1, 2, 3, 5};
+  for (int i = 0; i < 50; ++i) {
+    const Point p{-4.0 + i * 0.3, 1.0 + i * 0.17};
+    const double md = MinDist(p, r);
+    for (double fx = 0.0; fx <= 1.0; fx += 0.25) {
+      for (double fy = 0.0; fy <= 1.0; fy += 0.25) {
+        const Point q{r.min_x + fx * r.Width(), r.min_y + fy * r.Height()};
+        EXPECT_LE(md, Distance(p, q) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(GeometryTest, ContinentalUsMbrIsSane) {
+  const Rect us = ContinentalUsMbr();
+  EXPECT_GT(us.Width(), 50.0);
+  EXPECT_GT(us.Height(), 20.0);
+  EXPECT_TRUE(us.Contains(Point{-100.0, 40.0}));
+}
+
+TEST(RectTest, ToStringFormats) {
+  EXPECT_EQ((Rect{0, 0, 1, 1}).ToString(),
+            "[0.000000,0.000000  1.000000,1.000000]");
+}
+
+}  // namespace
+}  // namespace pasjoin

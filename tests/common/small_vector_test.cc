@@ -1,0 +1,80 @@
+// Copyright 2026 The pasjoin Authors.
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin {
+namespace {
+
+TEST(SmallVectorTest, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVectorTest, InlinePushAndIndex) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  ASSERT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+}
+
+TEST(SmallVectorTest, SpillsToHeapBeyondInlineCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  const SmallVector<int, 4> v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVectorTest, ContainsAndPushBackUnique) {
+  SmallVector<int, 4> v{5, 7};
+  EXPECT_TRUE(v.Contains(5));
+  EXPECT_FALSE(v.Contains(6));
+  EXPECT_FALSE(v.PushBackUnique(7));
+  EXPECT_TRUE(v.PushBackUnique(9));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVectorTest, BackAndPopBackAcrossSpillBoundary) {
+  SmallVector<int, 2> v{1, 2, 3, 4};
+  EXPECT_EQ(v.back(), 4);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();  // back into inline storage
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, ClearResetsEverything) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVectorTest, AppendAndToVector) {
+  SmallVector<int, 2> a{1, 2};
+  SmallVector<int, 4> b{3, 4, 5};
+  a.Append(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallVectorTest, MutationThroughIndex) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v[0] = 10;
+  v[2] = 30;  // heap element
+  EXPECT_EQ(v.ToVector(), (std::vector<int>{10, 2, 30}));
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,90 @@
+// Copyright 2026 The pasjoin Authors.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = Status::InvalidArgument("eps must be positive");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "eps must be positive");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: eps must be positive");
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;  // copy
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(b.message(), "disk gone");
+  Status c = std::move(a);
+  EXPECT_EQ(c.message(), "disk gone");
+  c = Status::OK();
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner_fail = [] { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    PASJOIN_RETURN_NOT_OK(inner_fail());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+
+  auto inner_ok = [] { return Status::OK(); };
+  auto outer_ok = [&]() -> Status {
+    PASJOIN_RETURN_NOT_OK(inner_ok());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer_ok().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.value().push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(StatusCodeTest, Names) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+}  // namespace
+}  // namespace pasjoin

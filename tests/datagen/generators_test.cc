@@ -1,0 +1,151 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/generators.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "grid/grid.h"
+#include "grid/stats.h"
+
+namespace pasjoin::datagen {
+namespace {
+
+TEST(GeneratorsTest, GaussianClustersBasicShape) {
+  const Dataset d = GenerateGaussianClusters(10000, 42);
+  EXPECT_EQ(d.size(), 10000u);
+  EXPECT_EQ(d.name, "gaussian");
+  const Rect mbr = ContinentalUsMbr();
+  std::set<int64_t> ids;
+  for (const Tuple& t : d.tuples) {
+    EXPECT_TRUE(mbr.Contains(t.pt));
+    EXPECT_TRUE(t.payload.empty());
+    ids.insert(t.id);
+  }
+  EXPECT_EQ(ids.size(), d.size());  // ids unique
+}
+
+TEST(GeneratorsTest, GaussianClustersIsDeterministic) {
+  const Dataset a = GenerateGaussianClusters(1000, 7);
+  const Dataset b = GenerateGaussianClusters(1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuples[i].pt, b.tuples[i].pt);
+  }
+  const Dataset c = GenerateGaussianClusters(1000, 8);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.tuples[i].pt == c.tuples[i].pt) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(GeneratorsTest, GaussianClustersAreActuallyClustered) {
+  // Compare cell-occupancy concentration against a uniform set: the top 10%
+  // densest cells must hold far more points for the clustered data.
+  const size_t n = 20000;
+  const Dataset clustered = GenerateGaussianClusters(n, 3);
+  const Dataset uniform = GenerateUniform(n, 3);
+  const grid::Grid g =
+      grid::Grid::Make(ContinentalUsMbr(), 0.5, 2.0).MoveValue();
+  auto top_decile_share = [&](const Dataset& d) {
+    std::vector<int> counts(static_cast<size_t>(g.num_cells()), 0);
+    for (const Tuple& t : d.tuples) ++counts[static_cast<size_t>(g.Locate(t.pt))];
+    std::sort(counts.rbegin(), counts.rend());
+    size_t top = 0;
+    for (size_t i = 0; i < counts.size() / 10; ++i) {
+      top += static_cast<size_t>(counts[i]);
+    }
+    return static_cast<double>(top) / static_cast<double>(d.size());
+  };
+  EXPECT_GT(top_decile_share(clustered), 0.95);
+  EXPECT_LT(top_decile_share(uniform), 0.5);
+}
+
+TEST(GeneratorsTest, CustomOptionsAreRespected) {
+  GaussianClustersOptions options;
+  options.num_clusters = 1;
+  options.sigma_min = options.sigma_max = 0.05;
+  options.mbr = Rect{0, 0, 100, 100};
+  const Dataset d = GenerateGaussianClusters(5000, 11, options);
+  // A single tight cluster: the point MBR must be tiny relative to the space.
+  const Rect mbr = d.Mbr();
+  EXPECT_LT(mbr.Width(), 2.0);
+  EXPECT_LT(mbr.Height(), 2.0);
+}
+
+TEST(GeneratorsTest, UniformCoversTheSpace) {
+  const Rect box{0, 0, 10, 10};
+  const Dataset d = GenerateUniform(20000, 5, box);
+  const Rect mbr = d.Mbr();
+  EXPECT_LT(mbr.min_x, 0.2);
+  EXPECT_GT(mbr.max_x, 9.8);
+  EXPECT_LT(mbr.min_y, 0.2);
+  EXPECT_GT(mbr.max_y, 9.8);
+}
+
+/// Fraction of the data set's points held by the densest 10% of *occupied*
+/// grid cells - a concentration (skew) proxy.
+double TopDecileOfOccupiedCells(const Dataset& d) {
+  const grid::Grid g =
+      grid::Grid::Make(ContinentalUsMbr(), 0.5, 2.0).MoveValue();
+  std::vector<int> counts(static_cast<size_t>(g.num_cells()), 0);
+  for (const Tuple& t : d.tuples) ++counts[static_cast<size_t>(g.Locate(t.pt))];
+  std::vector<int> occupied;
+  for (int c : counts) {
+    if (c > 0) occupied.push_back(c);
+  }
+  std::sort(occupied.rbegin(), occupied.rend());
+  size_t top = 0;
+  const size_t decile = std::max<size_t>(1, occupied.size() / 10);
+  for (size_t i = 0; i < decile; ++i) top += static_cast<size_t>(occupied[i]);
+  return static_cast<double>(top) / static_cast<double>(d.size());
+}
+
+TEST(GeneratorsTest, RealLikeGeneratorsAreSkewedAndInMbr) {
+  const size_t n = 20000;
+  const double uniform_skew =
+      TopDecileOfOccupiedCells(GenerateUniform(n, 9));
+  EXPECT_LT(uniform_skew, 0.25);
+  for (const Dataset& d :
+       {GenerateTigerHydroLike(n, 9), GenerateOsmParksLike(n, 9)}) {
+    EXPECT_EQ(d.size(), n);
+    const Rect mbr = ContinentalUsMbr();
+    for (const Tuple& t : d.tuples) ASSERT_TRUE(mbr.Contains(t.pt));
+    const double skew = TopDecileOfOccupiedCells(d);
+    // The stand-ins must be much more concentrated than uniform data.
+    EXPECT_GT(skew, 0.4) << d.name;
+    EXPECT_GT(skew, 2.5 * uniform_skew) << d.name;
+  }
+}
+
+TEST(GeneratorsTest, PaperDatasetRegistry) {
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kR1), "R1");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kS2), "S2");
+  const Dataset s1 = MakePaperDataset(PaperDataset::kS1, 1000);
+  const Dataset s2 = MakePaperDataset(PaperDataset::kS2, 1000);
+  EXPECT_EQ(s1.name, "S1");
+  // S1 and S2 are different Gaussian instances.
+  int same = 0;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (s1.tuples[i].pt == s2.tuples[i].pt) ++same;
+  }
+  EXPECT_EQ(same, 0);
+  // Re-generation is stable.
+  const Dataset s1_again = MakePaperDataset(PaperDataset::kS1, 1000);
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.tuples[i].pt, s1_again.tuples[i].pt);
+  }
+}
+
+TEST(DatasetTest, PayloadAndBytes) {
+  Dataset d = GenerateUniform(10, 1, Rect{0, 0, 1, 1});
+  EXPECT_EQ(d.TotalBytes(), 10 * kTupleHeaderBytes);
+  d.SetPayloadBytes(40);
+  EXPECT_EQ(d.TotalBytes(), 10 * (kTupleHeaderBytes + 40));
+  EXPECT_EQ(d.tuples[3].ShuffleBytes(), kTupleHeaderBytes + 40);
+}
+
+}  // namespace
+}  // namespace pasjoin::datagen

@@ -1,0 +1,127 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+
+namespace pasjoin::datagen {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset SampleData() {
+  Dataset d = GenerateUniform(100, 77, Rect{-10, -10, 10, 10});
+  d.tuples[3].payload = "hello world";
+  d.tuples[50].payload = "with,comma? no: csv payload avoids newlines";
+  return d;
+}
+
+TEST(IoTest, CsvRoundTrip) {
+  const Dataset original = SampleData();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  Result<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.value().tuples[i].id, original.tuples[i].id);
+    EXPECT_DOUBLE_EQ(loaded.value().tuples[i].pt.x, original.tuples[i].pt.x);
+    EXPECT_DOUBLE_EQ(loaded.value().tuples[i].pt.y, original.tuples[i].pt.y);
+    EXPECT_EQ(loaded.value().tuples[i].payload, original.tuples[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  const Dataset original = SampleData();
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<Dataset> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.value().tuples[i].id, original.tuples[i].id);
+    EXPECT_EQ(loaded.value().tuples[i].pt, original.tuples[i].pt);
+    EXPECT_EQ(loaded.value().tuples[i].payload, original.tuples[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(ReadBinary("/nonexistent/nope.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(IoTest, WriteToBadPathFails) {
+  const Dataset d = SampleData();
+  EXPECT_EQ(WriteCsv(d, "/nonexistent/dir/out.csv").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(WriteBinary(d, "/nonexistent/dir/out.bin").code(),
+            StatusCode::kIOError);
+}
+
+TEST(IoTest, MalformedCsvLineIsRejected) {
+  const std::string path = TempPath("malformed.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1,2.0,3.0\nnot-a-number\n", f);
+  std::fclose(f);
+  const Result<Dataset> loaded = ReadCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryBadMagicIsRejected) {
+  const std::string path = TempPath("badmagic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("GARBAGEGARBAGE", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, PairsCsvRoundTrip) {
+  const std::vector<ResultPair> pairs = {{1, 2}, {3, 4}, {-7, 1000000009}};
+  const std::string path = TempPath("pairs.csv");
+  ASSERT_TRUE(WritePairsCsv(pairs, path).ok());
+  Result<std::vector<ResultPair>> loaded = ReadPairsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), pairs);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, PairsCsvRejectsGarbage) {
+  const std::string path = TempPath("pairs_bad.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1,2\nhello\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadPairsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyDatasetRoundTrips) {
+  Dataset d;
+  d.name = "empty";
+  const std::string csv = TempPath("empty.csv");
+  const std::string bin = TempPath("empty.bin");
+  ASSERT_TRUE(WriteCsv(d, csv).ok());
+  ASSERT_TRUE(WriteBinary(d, bin).ok());
+  EXPECT_EQ(ReadCsv(csv).value().size(), 0u);
+  EXPECT_EQ(ReadBinary(bin).value().size(), 0u);
+  std::remove(csv.c_str());
+  std::remove(bin.c_str());
+}
+
+}  // namespace
+}  // namespace pasjoin::datagen

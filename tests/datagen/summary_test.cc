@@ -1,0 +1,81 @@
+// Copyright 2026 The pasjoin Authors.
+#include "datagen/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+
+namespace pasjoin::datagen {
+namespace {
+
+TEST(SummaryTest, EmptyDataset) {
+  Dataset d;
+  const DatasetSummary s = Summarize(d);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.occupied_bins, 0u);
+  EXPECT_EQ(AsciiDensityMap(d), "(empty data set)\n");
+}
+
+TEST(SummaryTest, CountsAndMbr) {
+  Dataset d = GenerateUniform(5000, 3, Rect{0, 0, 10, 5});
+  d.SetPayloadBytes(8);
+  const DatasetSummary s = Summarize(d, 20, 10);
+  EXPECT_EQ(s.count, 5000u);
+  EXPECT_EQ(s.payload_bytes, 5000u * 8);
+  EXPECT_GT(s.occupied_bins, 150u);  // uniform data fills nearly every bin
+  EXPECT_LE(s.occupied_bins, 200u);
+  EXPECT_NEAR(s.mbr.Width(), 10.0, 0.1);
+  // Uniform data: top decile holds little mass.
+  EXPECT_LT(s.top_decile_share, 0.25);
+  EXPECT_NE(s.ToString().find("points: 5000"), std::string::npos);
+}
+
+TEST(SummaryTest, SkewIsVisibleInTopDecile) {
+  GaussianClustersOptions options;
+  options.num_clusters = 2;
+  options.sigma_min = options.sigma_max = 0.2;
+  options.mbr = Rect{0, 0, 50, 50};
+  const Dataset clustered = GenerateGaussianClusters(5000, 7, options);
+  // Note: the histogram spans the *points'* MBR, which zooms into the
+  // clusters, so even strongly clustered data spreads over many bins; the
+  // share is still far above the uniform baseline (~0.13).
+  // Keep bins populous enough (~12 points per bin for uniform data) that
+  // the uniform baseline is not inflated by Poisson noise.
+  const DatasetSummary s = Summarize(clustered, 20, 20);
+  const DatasetSummary uniform =
+      Summarize(GenerateUniform(5000, 7, options.mbr), 20, 20);
+  EXPECT_GT(s.top_decile_share, uniform.top_decile_share + 0.1);
+}
+
+TEST(SummaryTest, AsciiMapShapeAndContent) {
+  const Dataset d = GenerateUniform(10000, 9, Rect{0, 0, 10, 10});
+  const std::string map = AsciiDensityMap(d, 30, 12);
+  // 12 lines of 30 characters.
+  size_t lines = 0;
+  for (const char c : map) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 12u);
+  EXPECT_EQ(map.size(), 12u * 31);
+  // Dense uniform data leaves no blanks.
+  EXPECT_EQ(map.find("  "), std::string::npos);
+}
+
+TEST(SummaryTest, AsciiMapShowsClusters) {
+  // One tight cluster in the SW corner plus one far point to stretch the
+  // MBR: the map must contain blanks and at least one dense glyph.
+  Dataset d;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    d.tuples.push_back(Tuple{i, Point{rng.NextUniform(0, 1),
+                                      rng.NextUniform(0, 1)}, ""});
+  }
+  d.tuples.push_back(Tuple{9999, Point{100, 100}, ""});
+  const std::string map = AsciiDensityMap(d, 20, 10);
+  EXPECT_NE(map.find(' '), std::string::npos);
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pasjoin::datagen

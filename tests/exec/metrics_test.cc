@@ -1,0 +1,45 @@
+// Copyright 2026 The pasjoin Authors.
+#include "exec/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin::exec {
+namespace {
+
+TEST(JobMetricsTest, Totals) {
+  JobMetrics m;
+  m.replicated_r = 10;
+  m.replicated_s = 5;
+  EXPECT_EQ(m.ReplicatedTotal(), 15u);
+  m.construction_seconds = 1.5;
+  m.join_seconds = 2.0;
+  m.dedup_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(m.TotalSeconds(), 4.0);
+}
+
+TEST(JobMetricsTest, JoinImbalance) {
+  JobMetrics m;
+  EXPECT_DOUBLE_EQ(m.JoinImbalance(), 0.0);  // no workers recorded
+  m.worker_busy_join = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.JoinImbalance(), 1.0);  // perfectly balanced
+  m.worker_busy_join = {4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.JoinImbalance(), 4.0);  // one hot worker
+  m.worker_busy_join = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.JoinImbalance(), 0.0);  // zero-duration phase
+}
+
+TEST(JobMetricsTest, ToStringContainsKeyFields) {
+  JobMetrics m;
+  m.algorithm = "LPiB";
+  m.replicated_r = 123;
+  m.results = 42;
+  m.workers = 8;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("LPiB"), std::string::npos);
+  EXPECT_NE(s.find("repl=123"), std::string::npos);
+  EXPECT_NE(s.find("res=42"), std::string::npos);
+  EXPECT_NE(s.find("W=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

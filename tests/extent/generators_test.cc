@@ -1,0 +1,60 @@
+// Copyright 2026 The pasjoin Authors.
+#include "extent/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin::extent {
+namespace {
+
+const Rect kBox{0, 0, 20, 10};
+
+TEST(ExtentGeneratorsTest, RiverPolylinesBasicShape) {
+  const ExtentDataset d = GenerateRiverPolylines(200, 1, kBox, 0.5, 8);
+  EXPECT_EQ(d.size(), 200u);
+  EXPECT_EQ(d.name, "river_polylines");
+  for (const SpatialObject& o : d.objects) {
+    EXPECT_FALSE(o.closed);
+    EXPECT_GE(o.vertices.size(), 2u);
+    EXPECT_LE(o.vertices.size(), 9u);
+    EXPECT_TRUE(kBox.Contains(o.Mbr()));
+  }
+  EXPECT_TRUE(kBox.Contains(d.Mbr()));
+}
+
+TEST(ExtentGeneratorsTest, ParkPolygonsBasicShape) {
+  const ExtentDataset d = GenerateParkPolygons(200, 2, kBox, 0.5);
+  EXPECT_EQ(d.size(), 200u);
+  for (const SpatialObject& o : d.objects) {
+    EXPECT_TRUE(o.closed);
+    EXPECT_GE(o.vertices.size(), 3u);
+    EXPECT_LE(o.vertices.size(), 8u);
+    EXPECT_TRUE(kBox.Contains(o.Mbr()));
+    // Radius bound: MBR no wider than the diameter.
+    EXPECT_LE(o.Mbr().Width(), 1.0 + 1e-9);
+    EXPECT_LE(o.Mbr().Height(), 1.0 + 1e-9);
+  }
+}
+
+TEST(ExtentGeneratorsTest, Deterministic) {
+  const ExtentDataset a = GenerateRiverPolylines(50, 7, kBox);
+  const ExtentDataset b = GenerateRiverPolylines(50, 7, kBox);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.objects[i].vertices.size(), b.objects[i].vertices.size());
+    for (size_t v = 0; v < a.objects[i].vertices.size(); ++v) {
+      EXPECT_EQ(a.objects[i].vertices[v], b.objects[i].vertices[v]);
+    }
+  }
+  const ExtentDataset c = GenerateRiverPolylines(50, 8, kBox);
+  EXPECT_FALSE(a.objects[0].vertices[0] == c.objects[0].vertices[0]);
+}
+
+TEST(ExtentGeneratorsTest, IdsAreSequential) {
+  const ExtentDataset d = GenerateParkPolygons(30, 3, kBox);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.objects[i].id, static_cast<int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin::extent

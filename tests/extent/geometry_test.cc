@@ -1,0 +1,144 @@
+// Copyright 2026 The pasjoin Authors.
+#include "extent/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pasjoin::extent {
+namespace {
+
+TEST(PointSegmentDistanceTest, KnownCases) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({1, 1}, {0, 0}, {2, 0}), 1.0);
+  // Foot beyond an endpoint: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 4}, {0, 0}, {2, 0}), 5.0);
+  // On the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({1, 0}, {0, 0}, {2, 0}), 0.0);
+  // Degenerate (zero-length) segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(SegmentsIntersectTest, Cases) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));   // cross
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));   // T-touch
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {2, 0}, {3, 1}));   // endpoint
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {4, 0}, {1, 0}, {2, 0}));   // collinear overlap
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));  // collinear gap
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 0}, {3, 1}));  // parallel
+}
+
+TEST(SegmentDistanceTest, KnownCases) {
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 0}, {2, 0}, {0, 1}, {2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 0}, {1, 0}, {4, 4}, {4, 8}), 5.0);
+}
+
+TEST(SegmentDistanceTest, MatchesSampledLowerBound) {
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Point a1{rng.NextUniform(0, 10), rng.NextUniform(0, 10)};
+    const Point a2{rng.NextUniform(0, 10), rng.NextUniform(0, 10)};
+    const Point b1{rng.NextUniform(0, 10), rng.NextUniform(0, 10)};
+    const Point b2{rng.NextUniform(0, 10), rng.NextUniform(0, 10)};
+    const double d = SegmentDistance(a1, a2, b1, b2);
+    // Sampled point pairs along the segments never beat the reported min.
+    for (double t = 0; t <= 1.0; t += 0.2) {
+      for (double u = 0; u <= 1.0; u += 0.2) {
+        const Point pa{a1.x + t * (a2.x - a1.x), a1.y + t * (a2.y - a1.y)};
+        const Point pb{b1.x + u * (b2.x - b1.x), b1.y + u * (b2.y - b1.y)};
+        EXPECT_GE(Distance(pa, pb) + 1e-9, d);
+      }
+    }
+  }
+}
+
+SpatialObject Square(double x0, double y0, double side, int64_t id = 0) {
+  SpatialObject o;
+  o.id = id;
+  o.closed = true;
+  o.vertices = {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side},
+                {x0, y0 + side}};
+  return o;
+}
+
+TEST(SpatialObjectTest, MbrAndSegments) {
+  const SpatialObject sq = Square(1, 2, 3);
+  EXPECT_EQ(sq.Mbr(), (Rect{1, 2, 4, 5}));
+  EXPECT_EQ(sq.NumSegments(), 4u);
+  SpatialObject line;
+  line.vertices = {{0, 0}, {1, 0}, {2, 1}};
+  EXPECT_EQ(line.NumSegments(), 2u);
+  Point a, b;
+  line.Segment(1, &a, &b);
+  EXPECT_EQ(a, (Point{1, 0}));
+  EXPECT_EQ(b, (Point{2, 1}));
+}
+
+TEST(SpatialObjectTest, ContainsPolygon) {
+  const SpatialObject sq = Square(0, 0, 2);
+  EXPECT_TRUE(sq.Contains(Point{1, 1}));
+  EXPECT_TRUE(sq.Contains(Point{0, 1}));    // on boundary
+  EXPECT_TRUE(sq.Contains(Point{2, 2}));    // corner
+  EXPECT_FALSE(sq.Contains(Point{3, 1}));
+  EXPECT_FALSE(sq.Contains(Point{-0.1, 1}));
+  // Polylines contain nothing.
+  SpatialObject line;
+  line.vertices = {{0, 0}, {2, 0}};
+  EXPECT_FALSE(line.Contains(Point{1, 0}));
+}
+
+TEST(ObjectDistanceTest, DisjointShapes) {
+  const SpatialObject a = Square(0, 0, 1);
+  const SpatialObject b = Square(3, 0, 1);
+  EXPECT_DOUBLE_EQ(ObjectDistance(a, b), 2.0);
+  EXPECT_TRUE(WithinDistance(a, b, 2.0));
+  EXPECT_FALSE(WithinDistance(a, b, 1.99));
+}
+
+TEST(ObjectDistanceTest, ContainmentIsZero) {
+  const SpatialObject outer = Square(0, 0, 10);
+  const SpatialObject inner = Square(4, 4, 1);
+  EXPECT_DOUBLE_EQ(ObjectDistance(outer, inner), 0.0);
+  EXPECT_DOUBLE_EQ(ObjectDistance(inner, outer), 0.0);
+  // A polyline strictly inside a polygon is also at distance 0.
+  SpatialObject line;
+  line.vertices = {{2, 2}, {3, 3}};
+  EXPECT_DOUBLE_EQ(ObjectDistance(outer, line), 0.0);
+}
+
+TEST(ObjectDistanceTest, PolylineToPolyline) {
+  SpatialObject a, b;
+  a.vertices = {{0, 0}, {0, 4}};
+  b.vertices = {{3, 2}, {6, 2}};
+  EXPECT_DOUBLE_EQ(ObjectDistance(a, b), 3.0);
+  b.vertices = {{-1, 2}, {1, 2}};  // crosses a
+  EXPECT_DOUBLE_EQ(ObjectDistance(a, b), 0.0);
+}
+
+TEST(ObjectDistanceTest, SingleVertexObjectsActAsPoints) {
+  SpatialObject p, q;
+  p.vertices = {{0, 0}};
+  q.vertices = {{3, 4}};
+  EXPECT_DOUBLE_EQ(ObjectDistance(p, q), 5.0);
+  SpatialObject line;
+  line.vertices = {{0, 2}, {10, 2}};
+  EXPECT_DOUBLE_EQ(ObjectDistance(p, line), 2.0);
+  EXPECT_DOUBLE_EQ(ObjectDistance(line, p), 2.0);
+}
+
+TEST(WithinDistanceTest, MbrShortCircuitAgreesWithExact) {
+  Rng rng(9);
+  for (int iter = 0; iter < 100; ++iter) {
+    SpatialObject a, b;
+    for (int k = 0; k < 4; ++k) {
+      a.vertices.push_back({rng.NextUniform(0, 5), rng.NextUniform(0, 5)});
+      b.vertices.push_back({rng.NextUniform(3, 8), rng.NextUniform(3, 8)});
+    }
+    const double eps = rng.NextUniform(0.1, 3.0);
+    EXPECT_EQ(WithinDistance(a, b, eps), ObjectDistance(a, b) <= eps);
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin::extent

@@ -1,0 +1,129 @@
+// Copyright 2026 The pasjoin Authors.
+#include "grid/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pasjoin::grid {
+namespace {
+
+Grid MakeGrid() {
+  // 4x4 cells of side 2.5, eps 1.
+  return Grid::Make(Rect{0, 0, 10, 10}, 1.0, 2.0).MoveValue();
+}
+
+TEST(DirIndexTest, RoundTripsAllEightDirections) {
+  bool seen[8] = {};
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int dir = DirIndex(dx, dy);
+      ASSERT_GE(dir, 0);
+      ASSERT_LT(dir, 8);
+      EXPECT_FALSE(seen[dir]) << "collision at dir " << dir;
+      seen[dir] = true;
+      int rdx, rdy;
+      DirOffset(dir, &rdx, &rdy);
+      EXPECT_EQ(rdx, dx);
+      EXPECT_EQ(rdy, dy);
+    }
+  }
+}
+
+TEST(GridStatsTest, TotalsPerCellAndSide) {
+  const Grid g = MakeGrid();
+  GridStats stats(&g);
+  stats.Add(Side::kR, Point{1.0, 1.0});
+  stats.Add(Side::kR, Point{1.2, 1.2});
+  stats.Add(Side::kS, Point{1.0, 1.0});
+  stats.Add(Side::kS, Point{6.0, 6.0});
+  const CellId c00 = g.CellIdOf(0, 0);
+  const CellId c22 = g.CellIdOf(2, 2);
+  EXPECT_EQ(stats.CellCount(Side::kR, c00), 2u);
+  EXPECT_EQ(stats.CellCount(Side::kS, c00), 1u);
+  EXPECT_EQ(stats.CellCount(Side::kR, c22), 0u);
+  EXPECT_EQ(stats.CellCount(Side::kS, c22), 1u);
+  EXPECT_EQ(stats.SampleSize(Side::kR), 2u);
+  EXPECT_EQ(stats.SampleSize(Side::kS), 2u);
+}
+
+TEST(GridStatsTest, BandCountsMatchMinDistSemantics) {
+  const Grid g = MakeGrid();
+  GridStats stats(&g);
+  // Point in cell (1,1) = [2.5,5.0]^2 near its right border only.
+  stats.Add(Side::kR, Point{4.2, 3.75});
+  const CellId c = g.CellIdOf(1, 1);
+  EXPECT_EQ(stats.BandCount(Side::kR, c, DirIndex(1, 0)), 1u);
+  EXPECT_EQ(stats.BandCount(Side::kR, c, DirIndex(-1, 0)), 0u);
+  EXPECT_EQ(stats.BandCount(Side::kR, c, DirIndex(0, 1)), 0u);
+  EXPECT_EQ(stats.BandCount(Side::kR, c, DirIndex(1, 1)), 0u);
+
+  // Point near the top-right corner of cell (1,1), within eps of the corner:
+  // bands toward E, N and NE.
+  stats.Add(Side::kS, Point{4.6, 4.6});
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(1, 0)), 1u);
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(0, 1)), 1u);
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(1, 1)), 1u);
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(-1, 1)), 0u);
+
+  // Near two borders but farther than eps from the corner point: no
+  // diagonal band.
+  stats.Add(Side::kS, Point{4.2, 4.2});  // dist to corner (5,5) ~ 1.13 > 1
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(1, 1)), 1u);  // unchanged
+  EXPECT_EQ(stats.BandCount(Side::kS, c, DirIndex(1, 0)), 2u);
+}
+
+TEST(GridStatsTest, GridBoundaryProducesNoBands) {
+  const Grid g = MakeGrid();
+  GridStats stats(&g);
+  stats.Add(Side::kR, Point{0.1, 0.1});  // bottom-left cell corner of grid
+  const CellId c = g.CellIdOf(0, 0);
+  for (int dir = 0; dir < 8; ++dir) {
+    EXPECT_EQ(stats.BandCount(Side::kR, c, dir), 0u) << "dir " << dir;
+  }
+}
+
+TEST(GridStatsTest, BernoulliSamplingIsDeterministicAndSetsScale) {
+  const Grid g = MakeGrid();
+  Dataset data;
+  data.name = "d";
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    data.tuples.push_back(
+        Tuple{i, Point{rng.NextUniform(0, 10), rng.NextUniform(0, 10)}, ""});
+  }
+  GridStats a(&g), b(&g);
+  const size_t na = a.AddSample(Side::kR, data, 0.1, 77);
+  const size_t nb = b.AddSample(Side::kR, data, 0.1, 77);
+  EXPECT_EQ(na, nb);
+  EXPECT_NEAR(static_cast<double>(na), 1000.0, 120.0);
+  for (CellId c = 0; c < g.num_cells(); ++c) {
+    EXPECT_EQ(a.CellCount(Side::kR, c), b.CellCount(Side::kR, c));
+  }
+  // Scale factor inflates sample counts back to population scale.
+  GridStats full(&g);
+  full.AddSample(Side::kR, data, 1.0, 1);
+  full.AddSample(Side::kS, data, 1.0, 2);
+  double est = 0.0, exact = 0.0;
+  a.AddSample(Side::kS, data, 0.1, 78);
+  for (CellId c = 0; c < g.num_cells(); ++c) {
+    est += a.EstimatedCellCost(c);
+    exact += full.EstimatedCellCost(c);
+  }
+  EXPECT_NEAR(est / exact, 1.0, 0.25);
+}
+
+TEST(GridStatsTest, EstimatedCellCostIsProductOfSides) {
+  const Grid g = MakeGrid();
+  GridStats stats(&g);
+  for (int i = 0; i < 4; ++i) stats.Add(Side::kR, Point{1, 1});
+  for (int i = 0; i < 3; ++i) stats.Add(Side::kS, Point{1, 1});
+  EXPECT_DOUBLE_EQ(stats.EstimatedCellCost(g.CellIdOf(0, 0)), 12.0);
+  EXPECT_DOUBLE_EQ(stats.EstimatedCellCost(g.CellIdOf(1, 1)), 0.0);
+  stats.SetScale(Side::kR, 2.0);
+  EXPECT_DOUBLE_EQ(stats.EstimatedCellCost(g.CellIdOf(0, 0)), 24.0);
+}
+
+}  // namespace
+}  // namespace pasjoin::grid

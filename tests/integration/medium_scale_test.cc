@@ -1,0 +1,125 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Medium-scale cross-checks (100k x 100k points - too large for a
+// brute-force oracle, large enough to exercise realistic grids with ~10k
+// cells): all algorithms must agree on the result count, and the paper's
+// replication ordering must hold.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/pbsm.h"
+#include "baselines/sedona_like.h"
+#include "core/adaptive_join.h"
+#include "datagen/generators.h"
+
+namespace pasjoin {
+namespace {
+
+class MediumScale : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    r_ = new Dataset(datagen::MakePaperDataset(datagen::PaperDataset::kS1,
+                                               100000));
+    s_ = new Dataset(datagen::MakePaperDataset(datagen::PaperDataset::kR1,
+                                               100000));
+  }
+  static void TearDownTestSuite() {
+    delete r_;
+    delete s_;
+    r_ = nullptr;
+    s_ = nullptr;
+  }
+  static constexpr double kEps = 0.12;
+  static Dataset* r_;
+  static Dataset* s_;
+};
+
+Dataset* MediumScale::r_ = nullptr;
+Dataset* MediumScale::s_ = nullptr;
+
+TEST_F(MediumScale, AllAlgorithmsAgreeOnTheCount) {
+  uint64_t reference = 0;
+  bool have_reference = false;
+  auto check = [&](const char* name, uint64_t results) {
+    if (!have_reference) {
+      reference = results;
+      have_reference = true;
+      EXPECT_GT(reference, 0u);
+      return;
+    }
+    EXPECT_EQ(results, reference) << name;
+  };
+
+  for (const auto policy :
+       {agreements::Policy::kLPiB, agreements::Policy::kDiff}) {
+    core::AdaptiveJoinOptions options;
+    options.eps = kEps;
+    options.workers = 8;
+    Result<exec::JoinRun> run = core::AdaptiveDistanceJoin(*r_, *s_, options);
+    ASSERT_TRUE(run.ok());
+    check(agreements::PolicyName(policy), run.value().metrics.results);
+  }
+  for (const auto variant :
+       {baselines::PbsmVariant::kUniR, baselines::PbsmVariant::kUniS,
+        baselines::PbsmVariant::kEpsGrid}) {
+    baselines::PbsmOptions options;
+    options.eps = kEps;
+    options.workers = 8;
+    Result<exec::JoinRun> run =
+        baselines::PbsmDistanceJoin(*r_, *s_, variant, options);
+    ASSERT_TRUE(run.ok());
+    check(baselines::PbsmVariantName(variant), run.value().metrics.results);
+  }
+  {
+    baselines::SedonaOptions options;
+    options.eps = kEps;
+    options.workers = 8;
+    Result<exec::JoinRun> run =
+        baselines::SedonaLikeDistanceJoin(*r_, *s_, options);
+    ASSERT_TRUE(run.ok());
+    check("Sedona", run.value().metrics.results);
+  }
+}
+
+TEST_F(MediumScale, AdaptiveReplicatesLessThanBestUniversal) {
+  core::AdaptiveJoinOptions adaptive;
+  adaptive.eps = kEps;
+  adaptive.workers = 8;
+  const uint64_t lpib = core::AdaptiveDistanceJoin(*r_, *s_, adaptive)
+                            .value()
+                            .metrics.ReplicatedTotal();
+  baselines::PbsmOptions pbsm;
+  pbsm.eps = kEps;
+  pbsm.workers = 8;
+  const uint64_t uni_r =
+      baselines::PbsmDistanceJoin(*r_, *s_, baselines::PbsmVariant::kUniR, pbsm)
+          .value()
+          .metrics.ReplicatedTotal();
+  const uint64_t uni_s =
+      baselines::PbsmDistanceJoin(*r_, *s_, baselines::PbsmVariant::kUniS, pbsm)
+          .value()
+          .metrics.ReplicatedTotal();
+  const uint64_t eps_grid =
+      baselines::PbsmDistanceJoin(*r_, *s_, baselines::PbsmVariant::kEpsGrid,
+                                  pbsm)
+          .value()
+          .metrics.ReplicatedTotal();
+  EXPECT_LT(lpib, std::min(uni_r, uni_s));
+  EXPECT_LT(std::max(uni_r, uni_s), eps_grid);  // Fig 10's ordering
+}
+
+TEST_F(MediumScale, DedupVariantMatchesDuplicateFree) {
+  core::AdaptiveJoinOptions options;
+  options.eps = kEps;
+  options.workers = 8;
+  const uint64_t clean =
+      core::AdaptiveDistanceJoin(*r_, *s_, options).value().metrics.results;
+  options.duplicate_free = false;
+  const uint64_t dirty =
+      core::AdaptiveDistanceJoin(*r_, *s_, options).value().metrics.results;
+  EXPECT_EQ(clean, dirty);
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,75 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Compile-level check of the umbrella header: one translation unit that
+// touches every public module through "pasjoin.h" alone.
+#include "pasjoin.h"
+
+#include <gtest/gtest.h>
+
+namespace pasjoin {
+namespace {
+
+TEST(UmbrellaHeaderTest, EveryModuleIsReachable) {
+  // common
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_TRUE(Status::OK().ok());
+  Rng rng(1);
+  EXPECT_LT(rng.NextDouble(), 1.0);
+
+  // datagen
+  const Dataset data = datagen::GenerateUniform(64, 2, Rect{0, 0, 8, 8});
+  EXPECT_EQ(datagen::Summarize(data).count, 64u);
+
+  // grid + agreements + core replication
+  const grid::Grid g = grid::Grid::Make(Rect{0, 0, 8, 8}, 1.0).MoveValue();
+  grid::GridStats stats(&g);
+  stats.AddSample(Side::kR, data, 1.0, 1);
+  stats.AddSample(Side::kS, data, 1.0, 2);
+  agreements::AgreementGraph graph =
+      agreements::AgreementGraph::Build(g, stats, agreements::Policy::kLPiB);
+  graph.RunDuplicateFreeMarking();
+  EXPECT_FALSE(agreements::SubgraphToString(graph.Subgraph(0)).empty());
+  const core::ReplicationAssigner assigner(&g, &graph);
+  EXPECT_GE(assigner.Assign({4, 4}, Side::kR).size(), 1u);
+
+  // cost model
+  const core::CostModel model(&g, &stats);
+  EXPECT_GE(model.Predict(graph).total_candidates, 0.0);
+
+  // spatial
+  const spatial::RTree tree(data.tuples);
+  EXPECT_EQ(tree.size(), 64u);
+
+  // exec + core join + baselines
+  core::AdaptiveJoinOptions join;
+  join.eps = 0.5;
+  join.workers = 2;
+  join.physical_threads = 1;
+  join.sample_rate = 1.0;
+  EXPECT_TRUE(core::AdaptiveDistanceJoin(data, data, join).ok());
+  core::SelfJoinOptions self;
+  self.eps = 0.5;
+  self.workers = 2;
+  self.physical_threads = 1;
+  EXPECT_TRUE(core::SelfDistanceJoin(data, self).ok());
+  baselines::PbsmOptions pbsm;
+  pbsm.eps = 0.5;
+  pbsm.workers = 2;
+  pbsm.physical_threads = 1;
+  EXPECT_TRUE(
+      baselines::PbsmDistanceJoin(data, data, baselines::PbsmVariant::kUniR,
+                                  pbsm)
+          .ok());
+
+  // extent
+  const extent::ExtentDataset rivers =
+      extent::GenerateRiverPolylines(16, 3, Rect{0, 0, 8, 8});
+  extent::ExtentJoinOptions ext;
+  ext.eps = 0.3;
+  ext.workers = 2;
+  ext.physical_threads = 1;
+  EXPECT_TRUE(extent::GridExtentDistanceJoin(rivers, rivers, ext).ok());
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,103 @@
+// Copyright 2026 The pasjoin Authors.
+#include "spatial/local_join.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+
+namespace pasjoin::spatial {
+namespace {
+
+std::vector<Tuple> RandomTuples(size_t n, uint64_t seed, int64_t id0,
+                                double extent = 10.0) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Tuple{id0 + static_cast<int64_t>(i),
+                        Point{rng.NextUniform(0, extent),
+                              rng.NextUniform(0, extent)},
+                        ""});
+  }
+  return out;
+}
+
+TEST(NestedLoopJoinTest, FindsExactPairs) {
+  const std::vector<Tuple> r = {{1, {0, 0}, ""}, {2, {5, 5}, ""}};
+  const std::vector<Tuple> s = {{10, {0.5, 0}, ""}, {11, {9, 9}, ""}};
+  std::vector<ResultPair> pairs;
+  const JoinCounters counters =
+      NestedLoopJoin(r, s, 1.0, [&](const Tuple& a, const Tuple& b) {
+        pairs.push_back({a.id, b.id});
+      });
+  EXPECT_EQ(counters.candidates, 4u);
+  EXPECT_EQ(counters.results, 1u);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (ResultPair{1, 10}));
+}
+
+TEST(NestedLoopJoinTest, ThresholdIsInclusive) {
+  const std::vector<Tuple> r = {{1, {0, 0}, ""}};
+  const std::vector<Tuple> s = {{2, {1.0, 0}, ""}};
+  EXPECT_EQ(NestedLoopJoinPairs(r, s, 1.0).size(), 1u);
+  EXPECT_EQ(NestedLoopJoinPairs(r, s, 0.9999).size(), 0u);
+}
+
+TEST(PlaneSweepJoinTest, MatchesNestedLoopOnRandomData) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<Tuple> r = RandomTuples(150, seed, 0);
+    const std::vector<Tuple> s = RandomTuples(170, seed + 100, 1000);
+    const double eps = 0.3 + 0.1 * static_cast<double>(seed % 5);
+    std::vector<ResultPair> expected = NestedLoopJoinPairs(r, s, eps);
+    std::vector<ResultPair> got = PlaneSweepJoinPairs(r, s, eps);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST(PlaneSweepJoinTest, PrunesCandidates) {
+  // On spread-out data the sweep must evaluate far fewer candidate pairs
+  // than |R| * |S|.
+  std::vector<Tuple> r = RandomTuples(500, 3, 0, 100.0);
+  std::vector<Tuple> s = RandomTuples(500, 4, 1000, 100.0);
+  const JoinCounters counters =
+      PlaneSweepJoin(&r, &s, 0.5, [](const Tuple&, const Tuple&) {});
+  EXPECT_LT(counters.candidates, 250000u / 10);
+}
+
+TEST(PlaneSweepJoinTest, EmptyInputs) {
+  std::vector<Tuple> empty;
+  std::vector<Tuple> some = RandomTuples(5, 1, 0);
+  EXPECT_EQ(PlaneSweepJoin(&empty, &some, 1.0,
+                           [](const Tuple&, const Tuple&) {})
+                .results,
+            0u);
+  EXPECT_EQ(PlaneSweepJoin(&some, &empty, 1.0,
+                           [](const Tuple&, const Tuple&) {})
+                .results,
+            0u);
+}
+
+TEST(PlaneSweepJoinTest, DuplicateCoordinates) {
+  // Many coincident points: every R matches every S at distance zero.
+  std::vector<Tuple> r, s;
+  for (int i = 0; i < 10; ++i) r.push_back({i, {1, 1}, ""});
+  for (int i = 0; i < 7; ++i) s.push_back({100 + i, {1, 1}, ""});
+  const JoinCounters counters =
+      PlaneSweepJoin(&r, &s, 0.1, [](const Tuple&, const Tuple&) {});
+  EXPECT_EQ(counters.results, 70u);
+}
+
+TEST(JoinCountersTest, Accumulates) {
+  JoinCounters a{10, 2};
+  const JoinCounters b{5, 1};
+  a += b;
+  EXPECT_EQ(a.candidates, 15u);
+  EXPECT_EQ(a.results, 3u);
+}
+
+}  // namespace
+}  // namespace pasjoin::spatial

@@ -1,0 +1,101 @@
+// Copyright 2026 The pasjoin Authors.
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pasjoin::spatial {
+namespace {
+
+std::vector<Tuple> RandomTuples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Tuple{static_cast<int64_t>(i),
+                        Point{rng.NextUniform(0, 50), rng.NextUniform(0, 50)},
+                        ""});
+  }
+  return out;
+}
+
+std::set<int64_t> BruteRange(const std::vector<Tuple>& pts, const Point& c,
+                             double eps) {
+  std::set<int64_t> out;
+  for (const Tuple& t : pts) {
+    if (SquaredDistance(t.pt, c) <= eps * eps) out.insert(t.id);
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  const std::vector<Tuple> empty;
+  const RTree tree(empty);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  uint64_t candidates = tree.RangeQuery(Point{0, 0}, 1.0, [](const Tuple&) {
+    FAIL() << "no hits expected";
+  });
+  EXPECT_EQ(candidates, 0u);
+}
+
+TEST(RTreeTest, SinglePoint) {
+  const std::vector<Tuple> pts = {{7, {3, 4}, ""}};
+  const RTree tree(pts);
+  EXPECT_EQ(tree.height(), 1);
+  int hits = 0;
+  tree.RangeQuery(Point{0, 0}, 5.0, [&](const Tuple& t) {
+    EXPECT_EQ(t.id, 7);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+  hits = 0;
+  tree.RangeQuery(Point{0, 0}, 4.9, [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::vector<Tuple> pts = RandomTuples(800, seed);
+    const RTree tree(pts);
+    Rng rng(seed + 500);
+    for (int q = 0; q < 50; ++q) {
+      const Point c{rng.NextUniform(-5, 55), rng.NextUniform(-5, 55)};
+      const double eps = rng.NextUniform(0.1, 8.0);
+      std::set<int64_t> got;
+      tree.RangeQuery(c, eps, [&](const Tuple& t) { got.insert(t.id); });
+      EXPECT_EQ(got, BruteRange(pts, c, eps)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RTreeTest, CandidatesAreBoundedByPruning) {
+  const std::vector<Tuple> pts = RandomTuples(5000, 2);
+  const RTree tree(pts);
+  uint64_t candidates =
+      tree.RangeQuery(Point{25, 25}, 0.5, [](const Tuple&) {});
+  // A tiny query over 5000 spread points must prune nearly everything.
+  EXPECT_LT(candidates, 200u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  EXPECT_EQ(RTree(RandomTuples(16, 1)).height(), 1);
+  EXPECT_EQ(RTree(RandomTuples(17, 1)).height(), 2);
+  const RTree big(RandomTuples(5000, 1));
+  EXPECT_GE(big.height(), 2);
+  EXPECT_LE(big.height(), 4);
+}
+
+TEST(RTreeTest, PointsOnQueryBoundaryAreIncluded) {
+  const std::vector<Tuple> pts = {{1, {1.0, 0.0}, ""}};
+  const RTree tree(pts);
+  int hits = 0;
+  tree.RangeQuery(Point{0, 0}, 1.0, [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace pasjoin::spatial

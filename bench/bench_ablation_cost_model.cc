@@ -23,9 +23,9 @@ int main() {
 
   for (const Combo& combo : PaperCombos()) {
     const Dataset& r = PaperData(
-        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+        combo.left, ScaledCount(defaults.base_n, combo.left_scale));
     const Dataset& s = PaperData(
-        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+        combo.right, ScaledCount(defaults.base_n, combo.right_scale));
 
     const Rect mbr = r.Mbr().Union(s.Mbr());
     const grid::Grid grid = grid::Grid::Make(mbr, defaults.eps, 2.0).MoveValue();

@@ -23,9 +23,9 @@ int main() {
               "UNI(R)", "UNI(S)", "ovh/LPiB", "ovh/DIFF");
   for (const Combo& combo : PaperCombos()) {
     const Dataset& r = PaperData(
-        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+        combo.left, ScaledCount(defaults.base_n, combo.left_scale));
     const Dataset& s = PaperData(
-        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+        combo.right, ScaledCount(defaults.base_n, combo.right_scale));
     RunConfig config;
     config.eps = defaults.eps;
     config.workers = defaults.workers;

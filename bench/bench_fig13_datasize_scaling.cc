@@ -48,7 +48,7 @@ int main() {
       const exec::JobMetrics m = RunAlgorithm(algo, r, s, config);
       std::printf("%5dx %14s %12.2f %12.3f %12.3f %12.3f\n", factor,
                   WithCommas(m.ReplicatedTotal()).c_str(),
-                  m.shuffle_remote_bytes / (1024.0 * 1024.0),
+                  MiB(m.shuffle_remote_bytes),
                   m.construction_seconds, m.join_seconds, m.TotalSeconds());
     }
   }

@@ -42,7 +42,7 @@ int main() {
       const exec::JobMetrics m =
           RunAlgorithmMedian(algo, r, s, config, defaults.time_reps);
       std::printf(" %7.3fs    ", m.TotalSeconds());
-      remote_mb.push_back(m.shuffle_remote_bytes / (1024.0 * 1024.0));
+      remote_mb.push_back(MiB(m.shuffle_remote_bytes));
     }
     std::printf("\n%-10s", "  remoteMB");
     for (const double mb : remote_mb) std::printf(" %7.2fMB   ", mb);

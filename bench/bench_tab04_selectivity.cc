@@ -38,9 +38,9 @@ int main() {
   // eps sweep on S1xS2 and R1xS1.
   for (const Combo& combo : {PaperCombos()[0], PaperCombos()[1]}) {
     const Dataset& r = PaperData(
-        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+        combo.left, ScaledCount(defaults.base_n, combo.left_scale));
     const Dataset& s = PaperData(
-        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+        combo.right, ScaledCount(defaults.base_n, combo.right_scale));
     for (const double eps : defaults.eps_sweep) {
       RunConfig config;
       config.eps = eps;
@@ -70,9 +70,9 @@ int main() {
   {
     const Combo& combo = PaperCombos()[2];
     const Dataset& r = PaperData(
-        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+        combo.left, ScaledCount(defaults.base_n, combo.left_scale));
     const Dataset& s = PaperData(
-        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+        combo.right, ScaledCount(defaults.base_n, combo.right_scale));
     RunConfig config;
     config.eps = defaults.eps;
     config.workers = defaults.workers;

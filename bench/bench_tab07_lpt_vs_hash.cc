@@ -54,9 +54,9 @@ int main() {
   {
     const Combo& combo = PaperCombos()[2];  // R2xR1
     const Dataset& r = PaperData(
-        combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+        combo.left, ScaledCount(defaults.base_n, combo.left_scale));
     const Dataset& s = PaperData(
-        combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+        combo.right, ScaledCount(defaults.base_n, combo.right_scale));
     RunCase("R2xR1", r, s, defaults, /*num_splits=*/0);
   }
   std::printf("\npaper shape: LPT a few percent faster, more when the load "

@@ -42,6 +42,16 @@ struct Defaults {
 /// closer to paper scale.
 Defaults GetDefaults();
 
+/// Scales a base cardinality by a (possibly fractional) factor.
+inline size_t ScaledCount(size_t base, double factor) {
+  return static_cast<size_t>(static_cast<double>(base) * factor);
+}
+
+/// Bytes -> MiB as a double, for printf-style reporting.
+inline double MiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
 /// Cached construction of the paper data sets at `n` points.
 const Dataset& PaperData(datagen::PaperDataset which, size_t n);
 

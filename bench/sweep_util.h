@@ -20,9 +20,9 @@ inline void RunEpsSweep(
     const std::function<double(const exec::JobMetrics&)>& metric,
     const char* metric_name, int reps = 1) {
   const Dataset& r = PaperData(
-      combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+      combo.left, ScaledCount(defaults.base_n, combo.left_scale));
   const Dataset& s = PaperData(
-      combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+      combo.right, ScaledCount(defaults.base_n, combo.right_scale));
   std::printf("\n[%s]  %s by eps\n", combo.name.c_str(), metric_name);
   std::printf("%-10s", "algorithm");
   for (const double eps : defaults.eps_sweep) std::printf(" %12.3f", eps);

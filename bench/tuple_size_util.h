@@ -25,9 +25,9 @@ inline const std::vector<size_t>& TupleSizeFactors() {
 inline void RunTupleSizeSweep(const Combo& combo) {
   const Defaults defaults = GetDefaults();
   const Dataset& r_base = PaperData(
-      combo.left, static_cast<size_t>(defaults.base_n * combo.left_scale));
+      combo.left, ScaledCount(defaults.base_n, combo.left_scale));
   const Dataset& s_base = PaperData(
-      combo.right, static_cast<size_t>(defaults.base_n * combo.right_scale));
+      combo.right, ScaledCount(defaults.base_n, combo.right_scale));
 
   std::printf("\n[%s]\n", combo.name.c_str());
   std::printf("%-10s %6s %14s %12s %12s\n", "algorithm", "factor",
@@ -44,7 +44,7 @@ inline void RunTupleSizeSweep(const Combo& combo) {
       config.sample_rate = defaults.sample_rate;
       const exec::JobMetrics m = RunAlgorithm(algo, r, s, config);
       std::printf("%-10s %5zu %14.2f %12.3f %12.3f\n", algo.c_str(), fi,
-                  m.shuffle_remote_bytes / (1024.0 * 1024.0), m.TotalSeconds(),
+                  MiB(m.shuffle_remote_bytes), m.TotalSeconds(),
                   m.join_seconds);
     }
   }

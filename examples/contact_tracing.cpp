@@ -82,7 +82,7 @@ int main() {
               100.0 * static_cast<double>(m.ReplicatedTotal()) /
                   static_cast<double>(staff.size() + visitors.size()));
   std::printf("  shuffled %.2f MB including %zu-byte payloads\n",
-              m.shuffle_bytes / (1024.0 * 1024.0), payload_bytes);
+              static_cast<double>(m.shuffle_bytes) / (1024.0 * 1024.0), payload_bytes);
   std::printf("  end-to-end %.3fs (construction %.3fs, join %.3fs)\n",
               m.TotalSeconds(), m.construction_seconds, m.join_seconds);
 

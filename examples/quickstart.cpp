@@ -45,8 +45,8 @@ int main() {
               static_cast<unsigned long long>(m.replicated_r),
               static_cast<unsigned long long>(m.replicated_s));
   std::printf("  shuffled %.2f MB (%.2f MB remote)\n",
-              m.shuffle_bytes / (1024.0 * 1024.0),
-              m.shuffle_remote_bytes / (1024.0 * 1024.0));
+              static_cast<double>(m.shuffle_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(m.shuffle_remote_bytes) / (1024.0 * 1024.0));
   std::printf("  result pairs: %llu (candidates: %llu)\n",
               static_cast<unsigned long long>(m.results),
               static_cast<unsigned long long>(m.candidates));

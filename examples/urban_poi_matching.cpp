@@ -24,8 +24,8 @@ void PrintRow(const pasjoin::exec::JobMetrics& m) {
   std::printf("  %-9s %12llu %12.2f %12.2f %10.3f %10llu\n",
               m.algorithm.c_str(),
               static_cast<unsigned long long>(m.ReplicatedTotal()),
-              m.shuffle_bytes / (1024.0 * 1024.0),
-              m.shuffle_remote_bytes / (1024.0 * 1024.0), m.TotalSeconds(),
+              static_cast<double>(m.shuffle_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(m.shuffle_remote_bytes) / (1024.0 * 1024.0), m.TotalSeconds(),
               static_cast<unsigned long long>(m.results));
 }
 

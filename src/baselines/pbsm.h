@@ -53,9 +53,9 @@ struct PbsmOptions {
 };
 
 /// Runs the PBSM eps-distance join.
-Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
-                                       PbsmVariant variant,
-                                       const PbsmOptions& options);
+[[nodiscard]] Result<exec::JoinRun> PbsmDistanceJoin(
+    const Dataset& r, const Dataset& s, PbsmVariant variant,
+    const PbsmOptions& options);
 
 }  // namespace pasjoin::baselines
 

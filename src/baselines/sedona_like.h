@@ -47,8 +47,8 @@ struct SedonaOptions {
 };
 
 /// Runs the Sedona-like eps-distance join.
-Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
-                                             const SedonaOptions& options);
+[[nodiscard]] Result<exec::JoinRun> SedonaLikeDistanceJoin(
+    const Dataset& r, const Dataset& s, const SedonaOptions& options);
 
 }  // namespace pasjoin::baselines
 

@@ -1,0 +1,97 @@
+// Copyright 2026 The pasjoin Authors.
+#include "core/adaptive_join.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/lpt_scheduler.h"
+#include "core/replication.h"
+#include "grid/stats.h"
+
+namespace pasjoin::core {
+
+Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
+                                           const AdaptiveJoinOptions& options,
+                                           AdaptiveJoinArtifacts* artifacts) {
+  if (!(options.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (r.tuples.empty() || s.tuples.empty()) {
+    return Status::InvalidArgument("both join inputs must be non-empty");
+  }
+  if (!(options.sample_rate > 0.0 && options.sample_rate <= 1.0)) {
+    return Status::InvalidArgument("sample rate must be in (0, 1]");
+  }
+
+  Stopwatch driver;
+
+  // --- grid over the data space --------------------------------------------
+  Rect mbr = options.mbr;
+  if (!(mbr.Area() > 0.0)) {
+    mbr = r.Mbr().Union(s.Mbr());
+  }
+  Result<grid::Grid> grid_result =
+      grid::Grid::Make(mbr, options.eps, options.resolution_factor);
+  if (!grid_result.ok()) return grid_result.status();
+  const grid::Grid grid = grid_result.MoveValue();
+
+  // --- sampling + statistics (Algorithm 5, lines 4-5) ----------------------
+  grid::GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, options.sample_rate, options.sample_seed);
+  stats.AddSample(Side::kS, s, options.sample_rate, options.sample_seed + 1);
+
+  // --- graph of agreements (Sections 4-5) ----------------------------------
+  // Statistically undecidable pairs default to replicating the globally
+  // smaller relation.
+  const agreements::AgreementType tie_break = agreements::AgreementFor(
+      r.tuples.size() <= s.tuples.size() ? Side::kR : Side::kS);
+  agreements::AgreementGraph graph =
+      agreements::AgreementGraph::Build(grid, stats, options.policy, tie_break);
+  if (options.duplicate_free) {
+    graph.RunDuplicateFreeMarking();
+  }
+
+  // --- cell placement (Section 6.2) -----------------------------------------
+  CellAssignment assignment = CellAssignment::Hash(options.workers);
+  if (options.use_lpt) {
+    std::vector<double> costs(static_cast<size_t>(grid.num_cells()), 0.0);
+    for (grid::CellId c = 0; c < grid.num_cells(); ++c) {
+      costs[static_cast<size_t>(c)] = stats.EstimatedCellCost(c);
+    }
+    assignment = CellAssignment::Lpt(costs, options.workers);
+  }
+
+  if (artifacts != nullptr) {
+    artifacts->grid_nx = grid.nx();
+    artifacts->grid_ny = grid.ny();
+    artifacts->sampled_r = stats.SampleSize(Side::kR);
+    artifacts->sampled_s = stats.SampleSize(Side::kS);
+    artifacts->marked_edges = graph.CountMarked();
+    artifacts->locked_edges = graph.CountLocked();
+  }
+  const double driver_seconds = driver.ElapsedSeconds();
+  if (artifacts != nullptr) artifacts->driver_seconds = driver_seconds;
+
+  // --- distributed execution (Algorithm 5, lines 6-9) -----------------------
+  const ReplicationAssigner assigner(&grid, &graph);
+  exec::AssignFn assign = [&assigner](const Tuple& t, Side side) {
+    return assigner.Assign(t.pt, side);
+  };
+
+  exec::EngineOptions engine_options;
+  engine_options.eps = options.eps;
+  engine_options.workers = options.workers;
+  engine_options.num_splits = options.num_splits;
+  engine_options.collect_results = options.collect_results;
+  engine_options.deduplicate = !options.duplicate_free;
+  engine_options.carry_payloads = options.carry_payloads;
+  engine_options.physical_threads = options.physical_threads;
+
+  exec::JoinRun run = exec::RunPartitionedJoin(
+      r, s, assign, assignment.AsOwnerFn(), engine_options);
+  run.metrics.algorithm = agreements::PolicyName(options.policy);
+  run.metrics.construction_seconds += driver_seconds;
+  return run;
+}
+
+}  // namespace pasjoin::core

@@ -1,0 +1,83 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// The paper's contribution, end to end (Algorithm 5): the parallel
+// eps-distance spatial join with adaptive replication.
+//
+//   1. build the grid over the data MBR (l > 2*eps);
+//   2. sample both inputs and load the per-cell statistics;
+//   3. instantiate the graph of agreements (LPiB or DIFF) and run
+//      Algorithm 1 to make the assignment duplicate-free;
+//   4. map every tuple to cells via adaptive replication (Algorithms 2-4);
+//   5. shuffle, then plane-sweep + refine per cell, with cells placed on
+//      workers by LPT or hash.
+//
+// This is the primary public entry point of the library.
+#ifndef PASJOIN_CORE_ADAPTIVE_JOIN_H_
+#define PASJOIN_CORE_ADAPTIVE_JOIN_H_
+
+#include <cstdint>
+
+#include "agreements/agreement_graph.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/engine.h"
+
+namespace pasjoin::core {
+
+/// Configuration of an adaptive-replication join.
+struct AdaptiveJoinOptions {
+  /// Join distance threshold (required, > 0).
+  double eps = 0.0;
+  /// Agreement instantiation policy (LPiB and DIFF are the paper's variants;
+  /// UniformR/UniformS degrade the algorithm to PBSM-on-this-engine).
+  agreements::Policy policy = agreements::Policy::kLPiB;
+  /// Cell side as a multiple of eps (Figure 15 sweeps 2..5).
+  double resolution_factor = 2.0;
+  /// Bernoulli sampling rate for the statistics (paper default: 3%).
+  double sample_rate = 0.03;
+  /// Seed of the sampling step.
+  uint64_t sample_seed = 0x5a5a5a5a;
+  /// Logical workers ("nodes").
+  int workers = 12;
+  /// Input splits; 0 selects 4 * workers.
+  int num_splits = 0;
+  /// Place cells on workers with LPT (true, Section 6.2) or hash (false).
+  bool use_lpt = true;
+  /// When false, skips Algorithm 1 (marking) and instead removes duplicate
+  /// results with a parallel distinct step - the costly variant of Table 6.
+  bool duplicate_free = true;
+  /// Materialize result pairs.
+  bool collect_results = false;
+  /// Carry tuple payloads through the shuffle (Table 5 / Figures 16-18).
+  bool carry_payloads = true;
+  /// Physical host threads (0 = auto).
+  int physical_threads = 0;
+  /// Data-space MBR; when unset (zero area) it is computed from the inputs.
+  Rect mbr;
+};
+
+/// Diagnostics of the construction phase, for experiments and debugging.
+struct AdaptiveJoinArtifacts {
+  int grid_nx = 0;
+  int grid_ny = 0;
+  uint64_t sampled_r = 0;
+  uint64_t sampled_s = 0;
+  size_t marked_edges = 0;
+  size_t locked_edges = 0;
+  /// Sequential driver time: sampling + statistics + graph instantiation +
+  /// Algorithm 1 + scheduler (already included in the metrics' construction
+  /// time).
+  double driver_seconds = 0.0;
+};
+
+/// Runs the adaptive-replication eps-distance join R join_eps S.
+///
+/// On success the returned run's metrics carry all paper observables;
+/// `run.pairs` is filled when `options.collect_results`.
+[[nodiscard]] Result<exec::JoinRun> AdaptiveDistanceJoin(
+    const Dataset& r, const Dataset& s, const AdaptiveJoinOptions& options,
+    AdaptiveJoinArtifacts* artifacts = nullptr);
+
+}  // namespace pasjoin::core
+
+#endif  // PASJOIN_CORE_ADAPTIVE_JOIN_H_

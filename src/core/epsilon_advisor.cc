@@ -1,0 +1,119 @@
+// Copyright 2026 The pasjoin Authors.
+#include "core/epsilon_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pasjoin::core {
+
+double EstimateResultCount(const grid::Grid& grid, const grid::GridStats& stats,
+                           double eps) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const double cell_w = grid.cell_width();
+  const double cell_h = grid.cell_height();
+  constexpr double kPi = 3.14159265358979323846;
+
+  // Each R point sees an eps-disc of S points. Under local uniformity its
+  // expected match count is (local S density) * pi * eps^2. The local density
+  // is measured over the square window of cells reachable within eps; because
+  // eps rarely lands on an integer number of cells, we blend the densities of
+  // the enclosing integer windows so the estimate is continuous in eps (the
+  // advisor bisects it). Window sums are O(1) via a 2D prefix sum.
+  const double s_scale = stats.Scale(Side::kS);
+  const double r_scale = stats.Scale(Side::kR);
+  const size_t stride = static_cast<size_t>(nx) + 1;
+  std::vector<double> prefix(stride * (static_cast<size_t>(ny) + 1), 0.0);
+  for (int cy = 0; cy < ny; ++cy) {
+    for (int cx = 0; cx < nx; ++cx) {
+      const double s_count =
+          stats.CellCount(Side::kS, grid.CellIdOf(cx, cy)) * s_scale;
+      const size_t at = (static_cast<size_t>(cy) + 1) * stride +
+                        static_cast<size_t>(cx) + 1;
+      prefix[at] = s_count + prefix[at - stride] + prefix[at - 1] -
+                   prefix[at - stride - 1];
+    }
+  }
+  const auto window_density = [&](int cx, int cy, int wx, int wy) {
+    const size_t x0 = static_cast<size_t>(std::max(0, cx - wx));
+    const size_t x1 = static_cast<size_t>(std::min(nx - 1, cx + wx)) + 1;
+    const size_t y0 = static_cast<size_t>(std::max(0, cy - wy));
+    const size_t y1 = static_cast<size_t>(std::min(ny - 1, cy + wy)) + 1;
+    const double sum = prefix[y1 * stride + x1] - prefix[y0 * stride + x1] -
+                       prefix[y1 * stride + x0] + prefix[y0 * stride + x0];
+    const double area = static_cast<double>(x1 - x0) * cell_w *
+                        (static_cast<double>(y1 - y0) * cell_h);
+    return sum / area;
+  };
+
+  const double fx = eps / cell_w;
+  const double fy = eps / cell_h;
+  const int wx = static_cast<int>(fx);
+  const int wy = static_cast<int>(fy);
+  const double blend = 0.5 * ((fx - wx) + (fy - wy));
+
+  const double search_area = kPi * eps * eps;
+  double expected = 0.0;
+  for (int cy = 0; cy < ny; ++cy) {
+    for (int cx = 0; cx < nx; ++cx) {
+      const double r_count =
+          stats.CellCount(Side::kR, grid.CellIdOf(cx, cy)) * r_scale;
+      if (r_count <= 0.0) continue;
+      const double d0 = window_density(cx, cy, wx, wy);
+      const double d1 = window_density(cx, cy, wx + 1, wy + 1);
+      expected += r_count * ((1.0 - blend) * d0 + blend * d1) * search_area;
+    }
+  }
+  // The estimate can never exceed the full cross product.
+  const double total_r =
+      static_cast<double>(stats.SampleSize(Side::kR)) * r_scale;
+  const double total_s =
+      static_cast<double>(stats.SampleSize(Side::kS)) * s_scale;
+  return std::min(expected, total_r * total_s);
+}
+
+Result<double> AdviseEpsilon(const Dataset& r, const Dataset& s,
+                             double target_results,
+                             const EpsilonAdvisorOptions& options) {
+  if (!(options.eps_min > 0.0) || !(options.eps_max > options.eps_min)) {
+    return Status::InvalidArgument("need 0 < eps_min < eps_max");
+  }
+  if (!(target_results > 0.0)) {
+    return Status::InvalidArgument("target result count must be positive");
+  }
+  if (r.tuples.empty() || s.tuples.empty()) {
+    return Status::InvalidArgument("both inputs must be non-empty");
+  }
+  if (!(options.sample_rate > 0.0 && options.sample_rate <= 1.0)) {
+    return Status::InvalidArgument("sample rate must be in (0, 1]");
+  }
+
+  // Build the histogram fine enough that even eps_min is resolved: cells of
+  // about 2 * eps_min (the finest resolution the joins themselves use), but
+  // not absurdly many cells for tiny eps ranges.
+  const Rect mbr = r.Mbr().Union(s.Mbr());
+  Result<grid::Grid> grid_result = grid::Grid::Make(mbr, options.eps_min, 2.0);
+  if (!grid_result.ok()) return grid_result.status();
+  const grid::Grid grid = grid_result.MoveValue();
+  grid::GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, options.sample_rate, options.sample_seed);
+  stats.AddSample(Side::kS, s, options.sample_rate, options.sample_seed + 1);
+
+  // The estimate is monotone increasing in eps: bisect.
+  double lo = options.eps_min;
+  double hi = options.eps_max;
+  if (EstimateResultCount(grid, stats, lo) >= target_results) return lo;
+  if (EstimateResultCount(grid, stats, hi) <= target_results) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (EstimateResultCount(grid, stats, mid) < target_results) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pasjoin::core

@@ -1,0 +1,49 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Epsilon advisor: estimate the result cardinality of an eps-distance join
+// from sample statistics, and invert the estimate to suggest an eps that
+// yields a target result count. Useful when tuning exploratory joins: the
+// paper's evaluation fixes eps by dataset knowledge; downstream users often
+// only know how many pairs they can afford to consume.
+//
+// The estimator assumes local uniformity: every R point expects
+// (local S density) * pi * eps^2 matches, where the local density is measured
+// over the window of histogram cells reachable within eps (blended between
+// the two enclosing integer window radii so the estimate varies continuously
+// and near-monotonically in eps -- AdviseEpsilon bisects it). This stays
+// accurate both for eps below the cell size and for eps spanning many cells.
+#ifndef PASJOIN_CORE_EPSILON_ADVISOR_H_
+#define PASJOIN_CORE_EPSILON_ADVISOR_H_
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+
+namespace pasjoin::core {
+
+/// Estimates |R join_eps S| from per-cell statistics under local uniformity.
+/// Valid for any eps > 0, including eps spanning multiple histogram cells.
+double EstimateResultCount(const grid::Grid& grid, const grid::GridStats& stats,
+                           double eps);
+
+/// Options for AdviseEpsilon.
+struct EpsilonAdvisorOptions {
+  /// Search interval for eps (required: 0 < eps_min < eps_max).
+  double eps_min = 0.0;
+  double eps_max = 0.0;
+  /// Sampling rate for the statistics.
+  double sample_rate = 0.03;
+  uint64_t sample_seed = 0x5a5a5a5a;
+};
+
+/// Suggests an eps whose estimated result count is closest to `target`.
+/// Returns the eps (the estimate is monotone in eps, so this is a binary
+/// search). Fails on invalid intervals or empty inputs.
+[[nodiscard]] Result<double> AdviseEpsilon(
+    const Dataset& r, const Dataset& s, double target_results,
+    const EpsilonAdvisorOptions& options);
+
+}  // namespace pasjoin::core
+
+#endif  // PASJOIN_CORE_EPSILON_ADVISOR_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The pasjoin Authors.
+#include "core/lpt_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace pasjoin::core {
+
+CellAssignment CellAssignment::Hash(int workers) {
+  PASJOIN_CHECK(workers >= 1);
+  return CellAssignment(workers);
+}
+
+CellAssignment CellAssignment::Lpt(const std::vector<double>& cell_costs,
+                                   int workers) {
+  PASJOIN_CHECK(workers >= 1);
+  CellAssignment out(workers);
+
+  std::vector<int32_t> order;
+  order.reserve(cell_costs.size());
+  for (int32_t c = 0; c < static_cast<int32_t>(cell_costs.size()); ++c) {
+    if (cell_costs[static_cast<size_t>(c)] > 0.0) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(), [&cell_costs](int32_t a, int32_t b) {
+    const double ca = cell_costs[static_cast<size_t>(a)];
+    const double cb = cell_costs[static_cast<size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+
+  auto table = std::make_shared<std::vector<int32_t>>(cell_costs.size());
+  // Zero-cost cells default to hash placement.
+  for (int32_t c = 0; c < static_cast<int32_t>(table->size()); ++c) {
+    (*table)[static_cast<size_t>(c)] =
+        static_cast<int32_t>(static_cast<uint32_t>(c) %
+                             static_cast<uint32_t>(workers));
+  }
+  // Min-heap of (load, worker).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int w = 0; w < workers; ++w) heap.push({0.0, w});
+  for (const int32_t c : order) {
+    auto [load, w] = heap.top();
+    heap.pop();
+    (*table)[static_cast<size_t>(c)] = w;
+    heap.push({load + cell_costs[static_cast<size_t>(c)], w});
+  }
+  out.table_ = std::move(table);
+  return out;
+}
+
+std::vector<double> CellAssignment::WorkerLoads(
+    const std::vector<double>& cell_costs) const {
+  std::vector<double> loads(static_cast<size_t>(workers_), 0.0);
+  for (int32_t c = 0; c < static_cast<int32_t>(cell_costs.size()); ++c) {
+    loads[static_cast<size_t>(OwnerOf(c))] += cell_costs[static_cast<size_t>(c)];
+  }
+  return loads;
+}
+
+}  // namespace pasjoin::core

@@ -1,0 +1,60 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Cell-to-worker assignment (Section 6.2). The optimization goal is to
+// minimize the maximum estimated join work per worker - an instance of
+// multiprocessor scheduling (NP-hard) - solved greedily with LPT (longest
+// processing time first), using the sample-estimated per-cell cost
+// |R_i| * |S_i|. The alternative is Spark's default hash assignment.
+#ifndef PASJOIN_CORE_LPT_SCHEDULER_H_
+#define PASJOIN_CORE_LPT_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace pasjoin::core {
+
+/// An immutable partition -> worker mapping.
+class CellAssignment {
+ public:
+  /// Hash assignment: owner(cell) = cell mod workers.
+  static CellAssignment Hash(int workers);
+
+  /// LPT assignment for `cell_costs[cell]` estimated costs: cells sorted by
+  /// descending cost, each placed on the currently least-loaded worker.
+  /// Zero-cost cells fall back to hash placement (they carry no join work).
+  static CellAssignment Lpt(const std::vector<double>& cell_costs, int workers);
+
+  /// The owning worker of `cell` in [0, workers).
+  int OwnerOf(int32_t cell) const {
+    if (table_ && cell >= 0 && cell < static_cast<int32_t>(table_->size())) {
+      return (*table_)[static_cast<size_t>(cell)];
+    }
+    return static_cast<int>(static_cast<uint32_t>(cell) %
+                            static_cast<uint32_t>(workers_));
+  }
+
+  /// Adapts this assignment to the engine's OwnerFn.
+  exec::OwnerFn AsOwnerFn() const {
+    CellAssignment copy = *this;
+    return [copy](exec::PartitionId p) { return copy.OwnerOf(p); };
+  }
+
+  int workers() const { return workers_; }
+
+  /// Estimated per-worker load under this assignment (diagnostics).
+  std::vector<double> WorkerLoads(const std::vector<double>& cell_costs) const;
+
+ private:
+  explicit CellAssignment(int workers) : workers_(workers) {}
+
+  int workers_ = 1;
+  /// Explicit table; null for pure hash assignment.
+  std::shared_ptr<const std::vector<int32_t>> table_;
+};
+
+}  // namespace pasjoin::core
+
+#endif  // PASJOIN_CORE_LPT_SCHEDULER_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The pasjoin Authors.
+#include "core/self_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "grid/grid.h"
+
+namespace pasjoin::core {
+
+namespace {
+
+/// All cells within MINDIST <= eps of `p`, native first (the classic
+/// single-set replication of PBSM, reused here for the replicated stream).
+exec::PartitionList CellsWithinEps(const grid::Grid& grid, const Point& p) {
+  exec::PartitionList out;
+  const grid::CellId native = grid.Locate(p);
+  out.push_back(native);
+  const double eps = grid.eps();
+  const double eps2 = eps * eps;
+  const Rect& mbr = grid.mbr();
+  int cx_lo =
+      static_cast<int>(std::floor((p.x - eps - mbr.min_x) / grid.cell_width()));
+  int cx_hi =
+      static_cast<int>(std::floor((p.x + eps - mbr.min_x) / grid.cell_width()));
+  int cy_lo = static_cast<int>(
+      std::floor((p.y - eps - mbr.min_y) / grid.cell_height()));
+  int cy_hi = static_cast<int>(
+      std::floor((p.y + eps - mbr.min_y) / grid.cell_height()));
+  cx_lo = std::max(cx_lo, 0);
+  cy_lo = std::max(cy_lo, 0);
+  cx_hi = std::min(cx_hi, grid.nx() - 1);
+  cy_hi = std::min(cy_hi, grid.ny() - 1);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      const grid::CellId cell = grid.CellIdOf(cx, cy);
+      if (cell == native) continue;
+      if (SquaredMinDist(p, grid.CellRect(cell)) <= eps2) out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
+                                       const SelfJoinOptions& options) {
+  if (!(options.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (data.tuples.empty()) {
+    return Status::InvalidArgument("input must be non-empty");
+  }
+
+  Stopwatch driver;
+  Rect mbr = options.mbr;
+  if (!(mbr.Area() > 0.0)) {
+    mbr = data.Mbr();
+  }
+  Result<grid::Grid> grid_result =
+      grid::Grid::MakeForBaseline(mbr, options.eps, options.resolution_factor);
+  if (!grid_result.ok()) return grid_result.status();
+  const grid::Grid grid = grid_result.MoveValue();
+  const double driver_seconds = driver.ElapsedSeconds();
+
+  // One logical stream is replicated (fed as side R), the other is
+  // single-assigned (side S); the engine's self-join filter keeps each
+  // unordered pair once.
+  exec::AssignFn assign = [&grid](const Tuple& t, Side side) {
+    if (side == Side::kR) return CellsWithinEps(grid, t.pt);
+    exec::PartitionList out;
+    out.push_back(grid.Locate(t.pt));
+    return out;
+  };
+  const int workers = options.workers;
+  exec::OwnerFn owner = [workers](exec::PartitionId p) {
+    return static_cast<int>(static_cast<uint32_t>(p) %
+                            static_cast<uint32_t>(workers));
+  };
+
+  exec::EngineOptions engine_options;
+  engine_options.eps = options.eps;
+  engine_options.workers = options.workers;
+  engine_options.num_splits = options.num_splits;
+  engine_options.collect_results = options.collect_results;
+  engine_options.carry_payloads = options.carry_payloads;
+  engine_options.physical_threads = options.physical_threads;
+  engine_options.self_join = true;
+
+  exec::JoinRun run =
+      exec::RunPartitionedJoin(data, data, assign, owner, engine_options);
+  run.metrics.algorithm = "self-join";
+  run.metrics.construction_seconds += driver_seconds;
+  return run;
+}
+
+}  // namespace pasjoin::core

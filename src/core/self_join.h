@@ -1,0 +1,40 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// eps-distance self-join: all unordered pairs {a, b}, a != b, of one point
+// set within distance eps (the MR-DSJ problem of the paper's related work,
+// Section 2). Adaptive replication brings nothing to a self-join (both
+// "sides" have identical statistics, so every agreement ties); instead the
+// single input is grid-partitioned with one replicated stream and one
+// single-assigned stream, and the engine's self-join filter keeps each pair
+// exactly once (reported as (min_id, max_id)).
+#ifndef PASJOIN_CORE_SELF_JOIN_H_
+#define PASJOIN_CORE_SELF_JOIN_H_
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "exec/engine.h"
+
+namespace pasjoin::core {
+
+/// Self-join configuration.
+struct SelfJoinOptions {
+  /// Join distance threshold (required, > 0).
+  double eps = 0.0;
+  /// Cell side as a multiple of eps.
+  double resolution_factor = 2.0;
+  int workers = 8;
+  int num_splits = 0;
+  bool collect_results = false;
+  bool carry_payloads = true;
+  int physical_threads = 0;
+  /// Data-space MBR; computed from the input when unset.
+  Rect mbr;
+};
+
+/// Computes { (a, b) : a.id < b.id, d(a, b) <= eps } over `data`.
+[[nodiscard]] Result<exec::JoinRun> SelfDistanceJoin(
+    const Dataset& data, const SelfJoinOptions& options);
+
+}  // namespace pasjoin::core
+
+#endif  // PASJOIN_CORE_SELF_JOIN_H_

@@ -15,23 +15,25 @@
 namespace pasjoin::datagen {
 
 /// Writes `dataset` to `path` as CSV lines `id,x,y[,payload]`.
-Status WriteCsv(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteCsv(const Dataset& dataset, const std::string& path);
 
 /// Reads a CSV file produced by WriteCsv (payload column optional).
-Result<Dataset> ReadCsv(const std::string& path);
+[[nodiscard]] Result<Dataset> ReadCsv(const std::string& path);
 
 /// Writes `dataset` to `path` in the binary format.
-Status WriteBinary(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteBinary(const Dataset& dataset,
+                                 const std::string& path);
 
 /// Reads a binary file produced by WriteBinary.
-Result<Dataset> ReadBinary(const std::string& path);
+[[nodiscard]] Result<Dataset> ReadBinary(const std::string& path);
 
 /// Writes join result pairs to `path` as CSV lines `r_id,s_id`.
-Status WritePairsCsv(const std::vector<ResultPair>& pairs,
-                     const std::string& path);
+[[nodiscard]] Status WritePairsCsv(const std::vector<ResultPair>& pairs,
+                                    const std::string& path);
 
 /// Reads a pairs CSV produced by WritePairsCsv.
-Result<std::vector<ResultPair>> ReadPairsCsv(const std::string& path);
+[[nodiscard]] Result<std::vector<ResultPair>> ReadPairsCsv(
+    const std::string& path);
 
 }  // namespace pasjoin::datagen
 

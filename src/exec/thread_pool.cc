@@ -2,6 +2,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pasjoin::exec {
 
@@ -32,8 +33,13 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,9 +57,15 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

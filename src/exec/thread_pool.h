@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,14 +24,21 @@ class ThreadPool {
  public:
   /// Creates `num_threads` threads (>= 1).
   explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, joins all workers. Any still-pending task runs to
+  /// completion first; a captured task exception that was never observed via
+  /// Wait() is dropped (destructors must not throw).
   ~ThreadPool();
 
   PASJOIN_DISALLOW_COPY(ThreadPool);
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. Thread-safe; may be called concurrently from any
+  /// thread, including from within running tasks. If a task throws, the
+  /// first exception is captured and rethrown by the next Wait().
   void Submit(std::function<void()> fn);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception thrown by a task since the previous Wait(), if any.
   void Wait();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
@@ -47,6 +55,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait(); later ones are
+  /// dropped. Guarded by mu_.
+  std::exception_ptr first_error_;
   std::vector<std::thread> threads_;
 };
 

@@ -58,9 +58,9 @@ struct ExtentJoinRun {
 
 /// Computes { (r, s) : d(r, s) <= eps } over extended objects, in parallel,
 /// duplicate-free by the reference-point technique.
-Result<ExtentJoinRun> GridExtentDistanceJoin(const ExtentDataset& r,
-                                             const ExtentDataset& s,
-                                             const ExtentJoinOptions& options);
+[[nodiscard]] Result<ExtentJoinRun> GridExtentDistanceJoin(
+    const ExtentDataset& r, const ExtentDataset& s,
+    const ExtentJoinOptions& options);
 
 }  // namespace pasjoin::extent
 

@@ -80,15 +80,15 @@ class Grid {
   ///
   /// Fails with InvalidArgument for non-positive eps, empty MBRs, or
   /// factor < 2.
-  static Result<Grid> Make(const Rect& mbr, double eps,
-                           double resolution_factor = 2.0);
+  [[nodiscard]] static Result<Grid> Make(const Rect& mbr, double eps,
+                                         double resolution_factor = 2.0);
 
   /// Like Make but without the l > 2*eps requirement (any factor > 0).
   /// Only for baseline algorithms (e.g. PBSM's eps-grid variant, which uses
   /// eps x eps cells): the agreement/quartet machinery (ClassifyArea,
   /// quartets) must not be used on such grids.
-  static Result<Grid> MakeForBaseline(const Rect& mbr, double eps,
-                                      double resolution_factor);
+  [[nodiscard]] static Result<Grid> MakeForBaseline(
+      const Rect& mbr, double eps, double resolution_factor);
 
   /// Number of cells along x / y and in total.
   int nx() const { return nx_; }

@@ -1,0 +1,121 @@
+// Debug harness: reconstructs a failing single-quartet configuration and
+// dumps the graph state plus the assignments of the missing pair.
+// Not registered as a test; built on demand while developing.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+#include "test_util.h"
+
+using namespace pasjoin;
+using agreements::AgreementGraph;
+using agreements::AgreementType;
+using agreements::Policy;
+using core::ReplicationAssigner;
+using grid::Grid;
+using grid::GridStats;
+
+static const char* kPos[4] = {"SW", "SE", "NW", "NE"};
+
+int main(int argc, char** argv) {
+  const int combo = argc > 1 ? std::atoi(argv[1]) : 6;
+  const uint64_t weight_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const double eps = 1.0;
+  const Rect mbr{0, 0, 4.2, 4.2};
+  Grid grid = Grid::Make(mbr, eps, 2.0).MoveValue();
+  const grid::QuartetId q = grid.QuartetIdOf(1, 1);
+
+  std::vector<Point> r_pts, s_pts;
+  for (double x = 0.05; x < mbr.max_x; x += 0.43) {
+    for (double y = 0.05; y < mbr.max_y; y += 0.43) {
+      r_pts.push_back(Point{x, y});
+      s_pts.push_back(Point{x + 0.17, y + 0.23});
+    }
+  }
+  const Point ref = grid.QuartetRefPoint(q);
+  r_pts.push_back(ref);
+  s_pts.push_back(Point{ref.x, ref.y - eps});
+  s_pts.push_back(Point{ref.x - eps, ref.y});
+  Dataset r = pasjoin::testing::MakeDataset(r_pts, 0, "R");
+  Dataset s = pasjoin::testing::MakeDataset(s_pts, 1000000, "S");
+
+  GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, 1.0, 7);
+  stats.AddSample(Side::kS, s, 1.0, 8);
+
+  AgreementGraph graph = AgreementGraph::Build(grid, stats, Policy::kLPiB);
+  auto type_of = [combo](int bit) {
+    return (combo >> bit) & 1 ? AgreementType::kReplicateS
+                              : AgreementType::kReplicateR;
+  };
+  graph.SetHorizontalPairType(0, 0, type_of(0));
+  graph.SetHorizontalPairType(0, 1, type_of(1));
+  graph.SetVerticalPairType(0, 0, type_of(2));
+  graph.SetVerticalPairType(1, 0, type_of(3));
+  graph.SetDiagonalPairType(q, 0, type_of(4));
+  graph.SetDiagonalPairType(q, 1, type_of(5));
+  Rng wrng(weight_seed * 7919);
+  agreements::QuartetSubgraph* sub = graph.MutableSubgraph(q);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (i != j) sub->edge[i][j].weight = (float)wrng.NextBounded(100);
+  graph.RunDuplicateFreeMarking();
+
+  std::printf("quartet ref=(%g,%g)\n", ref.x, ref.y);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      std::printf("  e[%s->%s] type=%c w=%5.1f %s%s\n", kPos[i], kPos[j],
+                  sub->type[i][j] == AgreementType::kReplicateR ? 'R' : 'S',
+                  sub->edge[i][j].weight, sub->edge[i][j].marked ? "MARKED " : "",
+                  sub->edge[i][j].locked ? "LOCKED" : "");
+    }
+  }
+
+  ReplicationAssigner assigner(&grid, &graph);
+  auto truth = pasjoin::testing::BruteForcePairs(r, s, eps);
+
+  // per-cell pairs
+  std::map<ResultPair, int> found;
+  std::vector<std::vector<const Tuple*>> rc(grid.num_cells()), sc(grid.num_cells());
+  for (const Tuple& t : r.tuples)
+    for (auto c : assigner.Assign(t.pt, Side::kR).ToVector()) rc[c].push_back(&t);
+  for (const Tuple& t : s.tuples)
+    for (auto c : assigner.Assign(t.pt, Side::kS).ToVector()) sc[c].push_back(&t);
+  for (int c = 0; c < grid.num_cells(); ++c)
+    for (auto* a : rc[c])
+      for (auto* b : sc[c])
+        if (SquaredDistance(a->pt, b->pt) <= eps * eps)
+          ++found[ResultPair{a->id, b->id}];
+
+  int shown = 0;
+  for (auto& [pair, cnt] : truth) {
+    auto it = found.find(pair);
+    const int have = it == found.end() ? 0 : it->second;
+    if (have != 1 && shown < 8) {
+      ++shown;
+      const Tuple* a = &r.tuples[pair.r_id];
+      const Tuple* b = nullptr;
+      for (auto& t : s.tuples)
+        if (t.id == pair.s_id) b = &t;
+      std::printf("PAIR count=%d r%lld=(%g,%g) cells:", have,
+                  (long long)pair.r_id, a->pt.x, a->pt.y);
+      for (auto c : assigner.Assign(a->pt, Side::kR).ToVector())
+        std::printf(" %d(%s)", c, kPos[grid.PositionInQuartet(q, c)]);
+      std::printf("  s%lld=(%g,%g) cells:", (long long)pair.s_id, b->pt.x,
+                  b->pt.y);
+      for (auto c : assigner.Assign(b->pt, Side::kS).ToVector())
+        std::printf(" %d(%s)", c, kPos[grid.PositionInQuartet(q, c)]);
+      std::printf("  dist=%g\n", Distance(a->pt, b->pt));
+    }
+    if (have > 1) std::printf("(duplicate)\n");
+  }
+  std::printf("truth=%zu found=%zu\n", truth.size(), found.size());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Copyright 2026 The pasjoin Authors.
+#include "core/epsilon_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "test_util.h"
+
+namespace pasjoin::core {
+namespace {
+
+TEST(EpsilonAdvisorTest, ValidatesArguments) {
+  const Dataset d = datagen::GenerateUniform(100, 1, Rect{0, 0, 10, 10});
+  EpsilonAdvisorOptions options;
+  options.eps_min = 0.0;
+  options.eps_max = 1.0;
+  EXPECT_FALSE(AdviseEpsilon(d, d, 100, options).ok());
+  options.eps_min = 1.0;
+  options.eps_max = 0.5;
+  EXPECT_FALSE(AdviseEpsilon(d, d, 100, options).ok());
+  options.eps_max = 2.0;
+  EXPECT_FALSE(AdviseEpsilon(d, d, -5, options).ok());
+  const Dataset empty;
+  EXPECT_FALSE(AdviseEpsilon(d, empty, 100, options).ok());
+}
+
+TEST(EpsilonAdvisorTest, EstimateTracksTruthOnUniformData) {
+  const Rect box{0, 0, 20, 20};
+  const Dataset r = datagen::GenerateUniform(3000, 2, box);
+  const Dataset s = datagen::GenerateUniform(3000, 3, box);
+  const grid::Grid grid = grid::Grid::Make(box, 0.25, 2.0).MoveValue();
+  grid::GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, 1.0, 1);
+  stats.AddSample(Side::kS, s, 1.0, 2);
+  for (const double eps : {0.1, 0.2, 0.25}) {
+    const double estimate = EstimateResultCount(grid, stats, eps);
+    const double truth = static_cast<double>(
+        pasjoin::testing::BruteForcePairs(r, s, eps).size());
+    EXPECT_GT(estimate, truth * 0.6) << eps;
+    EXPECT_LT(estimate, truth * 1.7) << eps;
+  }
+}
+
+TEST(EpsilonAdvisorTest, EstimateIsMonotoneInEps) {
+  const Rect box{0, 0, 20, 20};
+  const Dataset r = datagen::GenerateUniform(2000, 5, box);
+  const grid::Grid grid = grid::Grid::Make(box, 0.2, 2.0).MoveValue();
+  grid::GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, 1.0, 1);
+  stats.AddSample(Side::kS, r, 1.0, 2);
+  double prev = 0.0;
+  for (double eps = 0.05; eps <= 0.4; eps += 0.05) {
+    const double estimate = EstimateResultCount(grid, stats, eps);
+    EXPECT_GE(estimate, prev);
+    prev = estimate;
+  }
+}
+
+TEST(EpsilonAdvisorTest, AdvisedEpsHitsTargetWithinFactor) {
+  datagen::GaussianClustersOptions gauss;
+  gauss.num_clusters = 6;
+  gauss.sigma_min = 0.5;
+  gauss.sigma_max = 2.0;
+  gauss.mbr = Rect{0, 0, 30, 30};
+  const Dataset r = datagen::GenerateGaussianClusters(4000, 6, gauss);
+  const Dataset s = datagen::GenerateGaussianClusters(4000, 7, gauss);
+
+  EpsilonAdvisorOptions options;
+  options.eps_min = 0.05;
+  options.eps_max = 1.0;
+  options.sample_rate = 1.0;
+  // The true pair count at eps_max on this data is ~11k, so the target must
+  // sit strictly inside the reachable range for the advisor to bisect.
+  const double target = 5000;
+  Result<double> advised = AdviseEpsilon(r, s, target, options);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_GT(advised.value(), options.eps_min);
+  EXPECT_LT(advised.value(), options.eps_max);
+  const double actual = static_cast<double>(
+      pasjoin::testing::BruteForcePairs(r, s, advised.value()).size());
+  EXPECT_GT(actual, target / 3) << "advised eps " << advised.value();
+  EXPECT_LT(actual, target * 3) << "advised eps " << advised.value();
+}
+
+TEST(EpsilonAdvisorTest, ClampsToIntervalEnds) {
+  const Dataset r = datagen::GenerateUniform(500, 8, Rect{0, 0, 10, 10});
+  EpsilonAdvisorOptions options;
+  options.eps_min = 0.1;
+  options.eps_max = 0.2;
+  options.sample_rate = 1.0;
+  // Absurdly large target: the advisor returns eps_max.
+  Result<double> advised = AdviseEpsilon(r, r, 1e12, options);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_DOUBLE_EQ(advised.value(), 0.2);
+  // Tiny target: eps_min.
+  advised = AdviseEpsilon(r, r, 1e-6, options);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_DOUBLE_EQ(advised.value(), 0.1);
+}
+
+}  // namespace
+}  // namespace pasjoin::core

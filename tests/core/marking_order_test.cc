@@ -1,0 +1,112 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Algorithm 1's duplicate-free guarantee must hold for *any* edge-processing
+// order (the order is a performance knob, Section 5.2; see the
+// marking-order ablation bench). Property check per order.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+#include "test_util.h"
+
+namespace pasjoin {
+namespace {
+
+using agreements::AgreementGraph;
+using agreements::MarkingOrder;
+using agreements::Policy;
+using core::CellList;
+using core::ReplicationAssigner;
+using grid::Grid;
+using grid::GridStats;
+
+class MarkingOrderSweep : public ::testing::TestWithParam<MarkingOrder> {};
+
+TEST_P(MarkingOrderSweep, StaysCorrectAndDuplicateFree) {
+  const MarkingOrder order = GetParam();
+  const double eps = 1.0;
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    Rng rng(seed * 31337);
+    const double factor = 2.02 + rng.NextDouble();
+    const int nx = 2 + static_cast<int>(rng.NextBounded(4));
+    const int ny = 2 + static_cast<int>(rng.NextBounded(4));
+    const Rect mbr{0, 0, nx * factor + 0.01, ny * factor + 0.01};
+    const Grid grid = Grid::Make(mbr, eps, factor).MoveValue();
+
+    std::vector<Point> corners;
+    for (int qx = 1; qx < grid.nx(); ++qx) {
+      for (int qy = 1; qy < grid.ny(); ++qy) {
+        corners.push_back(grid.QuartetRefPoint(grid.QuartetIdOf(qx, qy)));
+      }
+    }
+    const Dataset r = pasjoin::testing::MakeDataset(
+        pasjoin::testing::RandomPointsNearCorners(&rng, mbr, corners, eps, 100),
+        0, "R");
+    const Dataset s = pasjoin::testing::MakeDataset(
+        pasjoin::testing::RandomPointsNearCorners(&rng, mbr, corners, eps, 100),
+        1000000, "S");
+    GridStats stats(&grid);
+    stats.AddSample(Side::kR, r, 1.0, seed);
+    stats.AddSample(Side::kS, s, 1.0, seed + 1);
+    AgreementGraph graph = AgreementGraph::Build(grid, stats, Policy::kLPiB);
+    graph.RandomizeForTesting(seed * 7 + 1);
+    graph.RunDuplicateFreeMarking(order);
+    const ReplicationAssigner assigner(&grid, &graph);
+
+    std::map<ResultPair, int> found;
+    std::vector<std::vector<const Tuple*>> rc(grid.num_cells()),
+        sc(grid.num_cells());
+    for (const Tuple& t : r.tuples) {
+      const CellList cells = assigner.Assign(t.pt, Side::kR);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        rc[static_cast<size_t>(cells[i])].push_back(&t);
+      }
+    }
+    for (const Tuple& t : s.tuples) {
+      const CellList cells = assigner.Assign(t.pt, Side::kS);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        sc[static_cast<size_t>(cells[i])].push_back(&t);
+      }
+    }
+    for (int c = 0; c < grid.num_cells(); ++c) {
+      for (const Tuple* a : rc[static_cast<size_t>(c)]) {
+        for (const Tuple* b : sc[static_cast<size_t>(c)]) {
+          if (SquaredDistance(a->pt, b->pt) <= eps * eps) {
+            ++found[ResultPair{a->id, b->id}];
+          }
+        }
+      }
+    }
+    const auto truth = pasjoin::testing::BruteForcePairs(r, s, eps);
+    ASSERT_EQ(found.size(), truth.size())
+        << agreements::MarkingOrderName(order) << " seed " << seed;
+    for (const auto& [pair, count] : found) {
+      ASSERT_EQ(count, 1) << agreements::MarkingOrderName(order) << " seed "
+                          << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, MarkingOrderSweep,
+                         ::testing::Values(MarkingOrder::kPaper,
+                                           MarkingOrder::kWeightDescending,
+                                           MarkingOrder::kIndexOrder),
+                         [](const ::testing::TestParamInfo<MarkingOrder>& param_info) {
+                           switch (param_info.param) {
+                             case MarkingOrder::kPaper:
+                               return "paper";
+                             case MarkingOrder::kWeightDescending:
+                               return "weight";
+                             case MarkingOrder::kIndexOrder:
+                               return "index";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,76 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Section 4.1's bound: with cell sides exceeding 2*eps, a point is assigned
+// to at most 3 cells besides its own (one per axis plus one diagonal).
+#include <gtest/gtest.h>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+#include "test_util.h"
+
+namespace pasjoin {
+namespace {
+
+using agreements::AgreementGraph;
+using agreements::Policy;
+using core::ReplicationAssigner;
+using grid::Grid;
+using grid::GridStats;
+
+TEST(ReplicationBoundsTest, AtMostFourCellsPerPoint) {
+  const double eps = 1.0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const double factor = 2.01 + rng.NextDouble() * 2.0;
+    const Rect mbr{0, 0, 5 * factor + 0.01, 4 * factor + 0.01};
+    const Grid grid = Grid::Make(mbr, eps, factor).MoveValue();
+    GridStats stats(&grid);
+    AgreementGraph graph = AgreementGraph::Build(grid, stats, Policy::kLPiB);
+    graph.RandomizeForTesting(seed);
+    graph.RunDuplicateFreeMarking();
+    const ReplicationAssigner assigner(&grid, &graph);
+    for (int i = 0; i < 3000; ++i) {
+      const Point p{rng.NextUniform(mbr.min_x, mbr.max_x),
+                    rng.NextUniform(mbr.min_y, mbr.max_y)};
+      for (const Side side : {Side::kR, Side::kS}) {
+        const core::CellList cells = assigner.Assign(p, side);
+        ASSERT_GE(cells.size(), 1u);
+        ASSERT_LE(cells.size(), 4u) << "point (" << p.x << "," << p.y << ")";
+        // The native cell leads and entries are unique.
+        EXPECT_EQ(cells[0], grid.Locate(p));
+        for (size_t a = 0; a < cells.size(); ++a) {
+          for (size_t b = a + 1; b < cells.size(); ++b) {
+            EXPECT_NE(cells[a], cells[b]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplicationBoundsTest, ReplicasStayWithinTwoEpsOfThePoint) {
+  // Any replica target must be justified: within 2*eps of the point (direct
+  // eps-reach or a supplementary-area redirect, Definition 4.10).
+  const double eps = 1.0;
+  Rng rng(77);
+  const Rect mbr{0, 0, 10.5, 10.5};
+  const Grid grid = Grid::Make(mbr, eps, 2.0).MoveValue();
+  GridStats stats(&grid);
+  AgreementGraph graph = AgreementGraph::Build(grid, stats, Policy::kLPiB);
+  graph.RandomizeForTesting(5);
+  graph.RunDuplicateFreeMarking();
+  const ReplicationAssigner assigner(&grid, &graph);
+  for (int i = 0; i < 20000; ++i) {
+    const Point p{rng.NextUniform(0, 10.5), rng.NextUniform(0, 10.5)};
+    const core::CellList cells = assigner.Assign(p, Side::kR);
+    for (size_t c = 1; c < cells.size(); ++c) {
+      EXPECT_LE(MinDist(p, grid.CellRect(cells[c])), 2 * eps + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,114 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Floating-point robustness: the correctness and duplicate-freeness
+// properties must hold far from the origin (continental-scale negative
+// longitudes, tiny eps) where coordinate arithmetic loses absolute
+// precision, and under translated/rescaled replicas of the same scenario.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+#include "test_util.h"
+
+namespace pasjoin {
+namespace {
+
+using agreements::AgreementGraph;
+using agreements::Policy;
+using core::CellList;
+using core::ReplicationAssigner;
+using grid::Grid;
+using grid::GridStats;
+
+/// Checks the exactly-once property on one scenario.
+void CheckScenario(const Rect& mbr, double eps, uint64_t seed) {
+  const Grid grid = Grid::Make(mbr, eps, 2.1).MoveValue();
+  Rng rng(seed);
+  std::vector<Point> corners;
+  for (int qx = 1; qx < grid.nx(); ++qx) {
+    for (int qy = 1; qy < grid.ny(); ++qy) {
+      corners.push_back(grid.QuartetRefPoint(grid.QuartetIdOf(qx, qy)));
+    }
+  }
+  const Dataset r = pasjoin::testing::MakeDataset(
+      pasjoin::testing::RandomPointsNearCorners(&rng, mbr, corners, eps, 150),
+      0, "R");
+  const Dataset s = pasjoin::testing::MakeDataset(
+      pasjoin::testing::RandomPointsNearCorners(&rng, mbr, corners, eps, 150),
+      1000000, "S");
+  GridStats stats(&grid);
+  stats.AddSample(Side::kR, r, 1.0, seed);
+  stats.AddSample(Side::kS, s, 1.0, seed + 1);
+  AgreementGraph graph = AgreementGraph::Build(grid, stats, Policy::kLPiB);
+  graph.RandomizeForTesting(seed + 2);
+  graph.RunDuplicateFreeMarking();
+  const ReplicationAssigner assigner(&grid, &graph);
+
+  std::map<ResultPair, int> found;
+  std::vector<std::vector<const Tuple*>> rc(grid.num_cells()),
+      sc(grid.num_cells());
+  for (const Tuple& t : r.tuples) {
+    const CellList cells = assigner.Assign(t.pt, Side::kR);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      rc[static_cast<size_t>(cells[i])].push_back(&t);
+    }
+  }
+  for (const Tuple& t : s.tuples) {
+    const CellList cells = assigner.Assign(t.pt, Side::kS);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      sc[static_cast<size_t>(cells[i])].push_back(&t);
+    }
+  }
+  for (int c = 0; c < grid.num_cells(); ++c) {
+    for (const Tuple* a : rc[static_cast<size_t>(c)]) {
+      for (const Tuple* b : sc[static_cast<size_t>(c)]) {
+        if (SquaredDistance(a->pt, b->pt) <= eps * eps) {
+          ++found[ResultPair{a->id, b->id}];
+        }
+      }
+    }
+  }
+  const auto truth = pasjoin::testing::BruteForcePairs(r, s, eps);
+  ASSERT_EQ(found.size(), truth.size())
+      << "mbr " << mbr.ToString() << " eps " << eps << " seed " << seed;
+  for (const auto& [pair, count] : found) {
+    ASSERT_EQ(count, 1) << "mbr " << mbr.ToString() << " eps " << eps;
+  }
+}
+
+TEST(ReplicationPrecisionTest, ContinentalCoordinatesSmallEps) {
+  // Negative longitudes, realistic eps in degrees.
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    CheckScenario(Rect{-124.85, 24.40, -124.85 + 0.1, 24.40 + 0.1}, 0.009,
+                  seed);
+  }
+}
+
+TEST(ReplicationPrecisionTest, FarFromOrigin) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    CheckScenario(Rect{1e6, -1e6, 1e6 + 12.7, -1e6 + 9.3}, 1.0, seed);
+  }
+}
+
+TEST(ReplicationPrecisionTest, TinyAndHugeEps) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CheckScenario(Rect{0, 0, 1.1e-3, 0.9e-3}, 1e-4, seed);
+    CheckScenario(Rect{0, 0, 1.1e5, 0.9e5}, 1e4, seed);
+  }
+}
+
+TEST(ReplicationPrecisionTest, AnisotropicMbr) {
+  // Wide-flat and tall-narrow spaces.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CheckScenario(Rect{0, 0, 100.3, 4.4}, 1.0, seed);
+    CheckScenario(Rect{0, 0, 4.4, 100.3}, 1.0, seed);
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin

@@ -1,0 +1,160 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Parameterized property sweeps (TEST_P) for adaptive replication:
+// correctness + duplicate-freeness over the full cross product of
+// (instantiation policy x grid resolution factor x workload shape), each
+// with multiple random seeds. Complements the free-form random sweep in
+// replication_property_test.cc.
+#include <map>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "agreements/agreement_graph.h"
+#include "common/rng.h"
+#include "core/replication.h"
+#include "grid/grid.h"
+#include "grid/stats.h"
+#include "test_util.h"
+
+namespace pasjoin {
+namespace {
+
+using agreements::AgreementGraph;
+using agreements::Policy;
+using core::CellList;
+using core::ReplicationAssigner;
+using grid::Grid;
+using grid::GridStats;
+
+using Param = std::tuple<Policy, double /*factor*/, std::string /*workload*/>;
+
+class ReplicationSweep : public ::testing::TestWithParam<Param> {};
+
+std::vector<Point> MakeWorkloadPoints(const std::string& kind, const Rect& mbr,
+                                      const std::vector<Point>& corners,
+                                      double eps, size_t n, Rng* rng) {
+  if (kind == "uniform") {
+    std::vector<Point> pts;
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(Point{rng->NextUniform(mbr.min_x, mbr.max_x),
+                          rng->NextUniform(mbr.min_y, mbr.max_y)});
+    }
+    return pts;
+  }
+  if (kind == "corner_heavy") {
+    return pasjoin::testing::RandomPointsNearCorners(rng, mbr, corners, eps, n);
+  }
+  // "clustered": a few tight blobs, some of which straddle corners.
+  std::vector<Point> centers;
+  for (int i = 0; i < 4; ++i) {
+    if (!corners.empty() && rng->NextBernoulli(0.5)) {
+      centers.push_back(corners[rng->NextBounded(corners.size())]);
+    } else {
+      centers.push_back(Point{rng->NextUniform(mbr.min_x, mbr.max_x),
+                              rng->NextUniform(mbr.min_y, mbr.max_y)});
+    }
+  }
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = centers[rng->NextBounded(centers.size())];
+    Point p{c.x + 0.8 * eps * rng->NextGaussian(),
+            c.y + 0.8 * eps * rng->NextGaussian()};
+    p.x = std::clamp(p.x, mbr.min_x, mbr.max_x);
+    p.y = std::clamp(p.y, mbr.min_y, mbr.max_y);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST_P(ReplicationSweep, ExactlyOncePerTruePair) {
+  const auto& [policy, factor, workload] = GetParam();
+  const double eps = 1.0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 1299721 + static_cast<uint64_t>(factor * 10));
+    const int nx = 3 + static_cast<int>(rng.NextBounded(3));
+    const int ny = 3 + static_cast<int>(rng.NextBounded(3));
+    const Rect mbr{0, 0, nx * factor * eps + 0.013, ny * factor * eps + 0.017};
+    const Grid grid = Grid::Make(mbr, eps, factor).MoveValue();
+
+    std::vector<Point> corners;
+    for (int qx = 1; qx < grid.nx(); ++qx) {
+      for (int qy = 1; qy < grid.ny(); ++qy) {
+        corners.push_back(grid.QuartetRefPoint(grid.QuartetIdOf(qx, qy)));
+      }
+    }
+    const Dataset r = pasjoin::testing::MakeDataset(
+        MakeWorkloadPoints(workload, mbr, corners, eps, 120, &rng), 0, "R");
+    const Dataset s = pasjoin::testing::MakeDataset(
+        MakeWorkloadPoints(workload, mbr, corners, eps, 120, &rng), 1000000,
+        "S");
+
+    GridStats stats(&grid);
+    stats.AddSample(Side::kR, r, 1.0, seed);
+    stats.AddSample(Side::kS, s, 1.0, seed + 1);
+    AgreementGraph graph = AgreementGraph::Build(grid, stats, policy);
+    graph.RunDuplicateFreeMarking();
+    const ReplicationAssigner assigner(&grid, &graph);
+
+    // Assign and join per cell.
+    std::map<ResultPair, int> found;
+    std::vector<std::vector<const Tuple*>> rc(grid.num_cells()),
+        sc(grid.num_cells());
+    for (const Tuple& t : r.tuples) {
+      const CellList cells = assigner.Assign(t.pt, Side::kR);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        rc[static_cast<size_t>(cells[i])].push_back(&t);
+      }
+    }
+    for (const Tuple& t : s.tuples) {
+      const CellList cells = assigner.Assign(t.pt, Side::kS);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        sc[static_cast<size_t>(cells[i])].push_back(&t);
+      }
+    }
+    for (int c = 0; c < grid.num_cells(); ++c) {
+      for (const Tuple* a : rc[static_cast<size_t>(c)]) {
+        for (const Tuple* b : sc[static_cast<size_t>(c)]) {
+          if (SquaredDistance(a->pt, b->pt) <= eps * eps) {
+            ++found[ResultPair{a->id, b->id}];
+          }
+        }
+      }
+    }
+    const auto truth = pasjoin::testing::BruteForcePairs(r, s, eps);
+    ASSERT_EQ(found.size(), truth.size())
+        << "seed " << seed << " grid " << grid.ToString();
+    for (const auto& [pair, count] : found) {
+      ASSERT_EQ(count, 1) << "seed " << seed << " pair (" << pair.r_id << ","
+                          << pair.s_id << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyFactorWorkload, ReplicationSweep,
+    ::testing::Combine(::testing::Values(Policy::kLPiB, Policy::kDiff,
+                                         Policy::kUniformR, Policy::kUniformS),
+                       ::testing::Values(2.0, 2.5, 3.0, 4.0, 5.0),
+                       ::testing::Values("uniform", "corner_heavy",
+                                         "clustered")),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      const Policy policy = std::get<0>(param_info.param);
+      const double factor = std::get<1>(param_info.param);
+      const std::string workload = std::get<2>(param_info.param);
+      std::string name = agreements::PolicyName(policy);
+      // Sanitize for gtest test names.
+      std::string clean;
+      for (const char c : name) {
+        if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+            (c >= '0' && c <= '9')) {
+          clean.push_back(c);
+        }
+      }
+      return clean + "_f" + std::to_string(static_cast<int>(factor * 10)) +
+             "_" + workload;
+    });
+
+}  // namespace
+}  // namespace pasjoin

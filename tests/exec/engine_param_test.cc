@@ -72,10 +72,16 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4, 12),
                        ::testing::Values(0, 1, 7, 32),
                        ::testing::Values(1, 2, 4)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param)) + "_p" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      // Built incrementally (not via chained operator+) to dodge a GCC 12
+      // -Wrestrict false positive in optimized std::string concatenation.
+      std::string name = "w";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_s";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += "_p";
+      name += std::to_string(std::get<2>(param_info.param));
+      return name;
     });
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Concurrency stress tests for the exec thread pool, written to be run under
+// ThreadSanitizer (label: stress). They exercise the shutdown path, the
+// exception-capture contract of Submit/Wait, oversubscription, concurrent
+// submitters, and tasks that submit further tasks.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+
+namespace pasjoin::exec {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentSubmittersAllTasksRun) {
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 500;
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &sum] {
+      for (int i = 0; i < kTasksPerSubmitter; ++i) {
+        pool.Submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(sum.load(), kSubmitters * kTasksPerSubmitter);
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsPendingTasks) {
+  // The destructor must let every already-submitted task run to completion
+  // (the engine relies on Wait(), but teardown with a non-empty queue must
+  // not drop or race on tasks either).
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 256;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::yield();
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait(): the destructor handles the drain.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolStressTest, ExceptionInTaskIsRethrownByWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The failure does not poison the pool: every task still ran, and new
+  // submissions work.
+  EXPECT_EQ(ran.load(), 16);
+  pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ThreadPoolStressTest, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Later exceptions were dropped; the pool is clean again.
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolStressTest, UncollectedExceptionIsDroppedOnDestruction) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("never observed"); });
+  // Destructor must swallow the captured exception without terminating.
+}
+
+TEST(ThreadPoolStressTest, OversubscribedPoolCompletes) {
+  // Many more threads than cores, long queue of short tasks.
+  const int threads = 8 * ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  EXPECT_EQ(pool.num_threads(), threads);
+  std::atomic<int64_t> sum{0};
+  constexpr int kTasks = 4096;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, i] {
+      if ((i & 63) == 0) std::this_thread::yield();
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolStressTest, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> outstanding{0};
+  // Each root task fans out two children; Wait() must cover the transitively
+  // submitted work that is enqueued before the queue drains.
+  for (int i = 0; i < 64; ++i) {
+    outstanding.fetch_add(1, std::memory_order_relaxed);
+    pool.Submit([&pool, &ran, &outstanding] {
+      for (int c = 0; c < 2; ++c) {
+        outstanding.fetch_add(1, std::memory_order_relaxed);
+        pool.Submit([&ran, &outstanding] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          outstanding.fetch_sub(1, std::memory_order_relaxed);
+        });
+      }
+      ran.fetch_add(1, std::memory_order_relaxed);
+      outstanding.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outstanding.load(), 0);
+  EXPECT_EQ(ran.load(), 64 * 3);
+}
+
+TEST(ThreadPoolStressTest, RepeatedWaitCyclesUnderLoad) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(sum.load(), (round + 1) * 40);
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

@@ -123,11 +123,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          "uniform_x_gaussian",
                                          "uniform_x_uniform"),
                        ::testing::Values(0.2, 0.5, 0.9)),
-    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>& info) {
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>& param_info) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%s_eps%d",
-                    std::get<0>(info.param).c_str(),
-                    static_cast<int>(std::get<1>(info.param) * 10));
+                    std::get<0>(param_info.param).c_str(),
+                    static_cast<int>(std::get<1>(param_info.param) * 10));
       return std::string(buf);
     });
 

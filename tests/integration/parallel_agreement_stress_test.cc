@@ -1,0 +1,150 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// TSan-oriented cross-algorithm stress test (label: stress): run the
+// adaptive-replication join and the PBSM baseline on the *same* input from
+// 8 concurrent driver threads and assert that every run produces the
+// identical result multiset. Concurrent whole-join executions sharing the
+// input datasets (read-only) are exactly the scenario where a hidden data
+// race in the engine, the agreement machinery, or a local join would
+// manifest as a wrong or flaky result.
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/pbsm.h"
+#include "common/rng.h"
+#include "core/adaptive_join.h"
+#include "test_util.h"
+
+namespace pasjoin {
+namespace {
+
+Dataset ClusteredInput(uint64_t seed, int64_t id0, size_t n,
+                       const std::string& name) {
+  Rng rng(seed);
+  const Rect mbr{0, 0, 8, 8};
+  // Corner-clustered points stress the duplicate-prone replication areas.
+  std::vector<Point> corners;
+  for (int x = 1; x < 8; ++x) {
+    for (int y = 1; y < 8; ++y) {
+      corners.push_back(Point{static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  return testing::MakeDataset(
+      testing::RandomPointsNearCorners(&rng, mbr, corners, 0.25, n), id0,
+      name);
+}
+
+std::vector<ResultPair> SortedPairs(std::vector<ResultPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(ParallelAgreementStressTest, ConcurrentAdaptiveAndPbsmRunsAgree) {
+  const Dataset r = ClusteredInput(/*seed=*/41, /*id0=*/0, /*n=*/1500, "R");
+  const Dataset s = ClusteredInput(/*seed=*/42, /*id0=*/10000, /*n=*/1500, "S");
+  const double eps = 0.25;
+
+  const std::vector<ResultPair> truth = [&] {
+    std::vector<ResultPair> out;
+    for (const auto& [pair, mult] : testing::BruteForcePairs(r, s, eps)) {
+      (void)mult;
+      out.push_back(pair);
+    }
+    return out;  // std::map iterates in sorted order already.
+  }();
+  ASSERT_FALSE(truth.empty());
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ResultPair>> results(kThreads);
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      // Even threads run the paper's adaptive join (alternating LPiB/DIFF),
+      // odd threads run PBSM variants; each driver itself uses an internal
+      // pool of 4 physical threads, so the process runs 8 concurrent
+      // multi-threaded joins over shared read-only inputs.
+      if (t % 2 == 0) {
+        core::AdaptiveJoinOptions options;
+        options.eps = eps;
+        options.policy = (t % 4 == 0) ? agreements::Policy::kLPiB
+                                      : agreements::Policy::kDiff;
+        options.workers = 4;
+        options.collect_results = true;
+        options.physical_threads = 4;
+        auto run = core::AdaptiveDistanceJoin(r, s, options);
+        if (!run.ok()) {
+          errors[static_cast<size_t>(t)] = run.status().ToString();
+          return;
+        }
+        results[static_cast<size_t>(t)] = SortedPairs(std::move(run.value().pairs));
+      } else {
+        baselines::PbsmOptions options;
+        options.eps = eps;
+        options.workers = 4;
+        options.collect_results = true;
+        options.physical_threads = 4;
+        const auto variant = (t % 4 == 1) ? baselines::PbsmVariant::kUniR
+                                          : baselines::PbsmVariant::kUniS;
+        auto run = baselines::PbsmDistanceJoin(r, s, variant, options);
+        if (!run.ok()) {
+          errors[static_cast<size_t>(t)] = run.status().ToString();
+          return;
+        }
+        results[static_cast<size_t>(t)] = SortedPairs(std::move(run.value().pairs));
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(errors[static_cast<size_t>(t)].empty())
+        << "driver " << t << ": " << errors[static_cast<size_t>(t)];
+    EXPECT_EQ(results[static_cast<size_t>(t)].size(), truth.size())
+        << "driver " << t;
+    EXPECT_TRUE(results[static_cast<size_t>(t)] == truth)
+        << "driver " << t << " produced a different result multiset";
+  }
+}
+
+TEST(ParallelAgreementStressTest, RepeatedConcurrentSelfJoinsAgree) {
+  const Dataset d = ClusteredInput(/*seed=*/7, /*id0=*/0, /*n=*/1200, "D");
+  const double eps = 0.25;
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ResultPair>> results(kThreads);
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      core::AdaptiveJoinOptions options;
+      options.eps = eps;
+      options.policy = agreements::Policy::kLPiB;
+      options.workers = 3 + (t % 3);  // vary placement across drivers
+      options.collect_results = true;
+      options.physical_threads = 2;
+      auto run = core::AdaptiveDistanceJoin(d, d, options);
+      if (!run.ok()) {
+        errors[static_cast<size_t>(t)] = run.status().ToString();
+        return;
+      }
+      results[static_cast<size_t>(t)] = SortedPairs(std::move(run.value().pairs));
+    });
+  }
+  for (std::thread& dr : drivers) dr.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(errors[static_cast<size_t>(t)].empty())
+        << "driver " << t << ": " << errors[static_cast<size_t>(t)];
+    EXPECT_TRUE(results[static_cast<size_t>(t)] == results[0])
+        << "driver " << t << " disagrees with driver 0";
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin

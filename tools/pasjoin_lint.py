@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+# Copyright 2026 The pasjoin Authors.
+"""pasjoin_lint: project-invariant linter for rules clang-tidy cannot express.
+
+Enforced invariants (see docs/STATIC_ANALYSIS.md for the rationale and
+suppression mechanism):
+
+  umbrella-reachability  Every header under src/ is reachable from the
+                         umbrella header src/pasjoin.h (transitively).
+  self-contained         Every header under src/ compiles standalone
+                         (g++/clang++ -fsyntax-only). Skipped with a notice
+                         when no compiler is available.
+  no-include-cycles      The #include graph of src/ headers is acyclic.
+  layering               Includes respect the layer order documented in
+                         src/pasjoin.h: common < datagen < grid < spatial <
+                         agreements < exec < extent < core < baselines.
+                         Lower layers never include higher ones.
+  no-naked-thread        std::thread / std::jthread / std::async /
+                         pthread_create appear only under src/exec/ (the
+                         engine owns all threading).
+  rng-discipline         rand()/srand()/std::random_device/std::mt19937/
+                         <random> appear only under src/common/rng.* (all
+                         randomness flows through the deterministic Rng).
+  nodiscard-status       Function declarations in headers returning Status or
+                         Result<T> carry [[nodiscard]].
+
+Suppression: append  // pasjoin-lint: allow(<rule>)  to the offending line.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+LAYERS = {
+    "common": 0,
+    "datagen": 1,
+    "grid": 2,
+    "spatial": 3,
+    "agreements": 4,
+    "exec": 5,
+    "extent": 6,
+    "core": 7,
+    "baselines": 8,
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SUPPRESS_RE = re.compile(r"//\s*pasjoin-lint:\s*allow\(([a-z\-, ]+)\)")
+
+THREAD_TOKEN_RE = re.compile(
+    r"\b(?:std::thread|std::jthread|std::async|pthread_create)\b")
+RNG_TOKEN_RE = re.compile(
+    r"\b(?:s?rand\s*\(|std::random_device|std::mt19937(?:_64)?|"
+    r"std::minstd_rand0?|std::default_random_engine|drand48\s*\()")
+RANDOM_HEADER_RE = re.compile(r'^\s*#\s*include\s+<random>')
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:Status|Result<[^;{}()]+>)\s+[A-Z]\w*\s*\(")
+
+
+class Violation:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        where = f"{rel}:{self.line}" if self.line else str(rel)
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out //, /* */ comments and string/char literals, keeping line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed(raw_line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(raw_line)
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group(1).split(",")}
+    return rule in rules
+
+
+def project_includes(path: Path) -> list[tuple[int, Path]]:
+    """Quoted includes of `path` resolved against src/ (missing ones skipped:
+    the compiler, not the linter, reports those)."""
+    found = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target = SRC / m.group(1)
+        if target.is_file():
+            found.append((lineno, target))
+    return found
+
+
+def layer_of(path: Path) -> str | None:
+    rel = path.relative_to(SRC)
+    if len(rel.parts) < 2:
+        return None  # src/pasjoin.h: the umbrella sits above all layers
+    return rel.parts[0] if rel.parts[0] in LAYERS else None
+
+
+def check_umbrella_reachability(headers: list[Path]) -> list[Violation]:
+    umbrella = SRC / "pasjoin.h"
+    seen: set[Path] = set()
+    stack = [umbrella]
+    while stack:
+        h = stack.pop()
+        if h in seen:
+            continue
+        seen.add(h)
+        for _, inc in project_includes(h):
+            stack.append(inc)
+    return [
+        Violation("umbrella-reachability", h, 0,
+                  "public header not reachable from src/pasjoin.h")
+        for h in headers if h not in seen
+    ]
+
+
+def check_include_cycles(headers: list[Path]) -> list[Violation]:
+    graph = {h: [inc for _, inc in project_includes(h) if inc.suffix == ".h"]
+             for h in headers}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {h: WHITE for h in graph}
+    violations: list[Violation] = []
+
+    def dfs(h: Path, trail: list[Path]) -> None:
+        color[h] = GRAY
+        trail.append(h)
+        for inc in graph.get(h, []):
+            if color.get(inc, WHITE) == GRAY:
+                cycle = trail[trail.index(inc):] + [inc]
+                pretty = " -> ".join(str(p.relative_to(SRC)) for p in cycle)
+                violations.append(
+                    Violation("no-include-cycles", h, 0,
+                              f"#include cycle: {pretty}"))
+            elif color.get(inc, WHITE) == WHITE:
+                dfs(inc, trail)
+        trail.pop()
+        color[h] = BLACK
+
+    for h in graph:
+        if color[h] == WHITE:
+            dfs(h, [])
+    return violations
+
+
+def check_layering(files: list[Path]) -> list[Violation]:
+    violations = []
+    for f in files:
+        src_layer = layer_of(f)
+        if src_layer is None:
+            continue  # umbrella header: may include everything
+        for lineno, inc in project_includes(f):
+            dst_layer = layer_of(inc)
+            if dst_layer is None:
+                continue
+            if LAYERS[dst_layer] > LAYERS[src_layer]:
+                raw = f.read_text().splitlines()[lineno - 1]
+                if suppressed(raw, "layering"):
+                    continue
+                violations.append(Violation(
+                    "layering", f, lineno,
+                    f"layer '{src_layer}' must not include higher layer "
+                    f"'{dst_layer}' ({inc.relative_to(SRC)})"))
+    return violations
+
+
+def check_token_rule(files: list[Path], rule: str, token_re: re.Pattern,
+                     allowed, message: str,
+                     extra_line_re: re.Pattern | None = None) -> list[Violation]:
+    violations = []
+    for f in files:
+        if allowed(f):
+            continue
+        raw_lines = f.read_text().splitlines()
+        code_lines = strip_comments_and_strings(f.read_text()).splitlines()
+        for lineno, line in enumerate(code_lines, 1):
+            hit = token_re.search(line)
+            if not hit and extra_line_re is not None:
+                hit = extra_line_re.match(line)
+            if not hit:
+                continue
+            if suppressed(raw_lines[lineno - 1], rule):
+                continue
+            violations.append(Violation(rule, f, lineno, message))
+    return violations
+
+
+def check_nodiscard(headers: list[Path]) -> list[Violation]:
+    violations = []
+    for h in headers:
+        raw_lines = h.read_text().splitlines()
+        code = strip_comments_and_strings(h.read_text()).splitlines()
+        for lineno, line in enumerate(code, 1):
+            if not NODISCARD_DECL_RE.match(line):
+                continue
+            prev = code[lineno - 2].strip() if lineno >= 2 else ""
+            if "[[nodiscard]]" in line or prev.endswith("[[nodiscard]]"):
+                continue
+            if suppressed(raw_lines[lineno - 1], "nodiscard-status"):
+                continue
+            violations.append(Violation(
+                "nodiscard-status", h, lineno,
+                "function returning Status/Result must be [[nodiscard]]"))
+    return violations
+
+
+def check_self_contained(headers: list[Path], verbose: bool) -> list[Violation]:
+    compiler = shutil.which("g++") or shutil.which("clang++")
+    if compiler is None:
+        print("pasjoin_lint: note: no C++ compiler found; "
+              "skipping self-contained header check", file=sys.stderr)
+        return []
+    violations = []
+    for h in headers:
+        cmd = [compiler, "-std=c++20", "-fsyntax-only", "-I", str(SRC),
+               "-x", "c++", str(h)]
+        if verbose:
+            print("  " + " ".join(cmd), file=sys.stderr)
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compilation failed"
+            violations.append(Violation(
+                "self-contained", h, 0,
+                f"header does not compile standalone: {detail}"))
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-compile", action="store_true",
+                        help="skip the (slower) self-contained header check")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the compile commands being run")
+    args = parser.parse_args()
+
+    if not SRC.is_dir():
+        print(f"pasjoin_lint: src/ not found under {REPO_ROOT}",
+              file=sys.stderr)
+        return 2
+
+    headers = sorted(p for p in SRC.rglob("*.h"))
+    sources = sorted(p for p in SRC.rglob("*.cc"))
+    files = headers + sources
+
+    violations: list[Violation] = []
+    violations += check_umbrella_reachability(headers)
+    violations += check_include_cycles(headers)
+    violations += check_layering(files)
+    violations += check_token_rule(
+        files, "no-naked-thread", THREAD_TOKEN_RE,
+        allowed=lambda f: f.relative_to(SRC).parts[0] == "exec",
+        message="threading primitives are confined to src/exec "
+                "(use exec::ThreadPool)")
+    violations += check_token_rule(
+        files, "rng-discipline", RNG_TOKEN_RE,
+        allowed=lambda f: f.name in ("rng.h", "rng.cc")
+        and f.parent.name == "common",
+        message="nondeterministic/libc randomness is confined to "
+                "src/common/rng (use pasjoin::Rng)",
+        extra_line_re=RANDOM_HEADER_RE)
+    violations += check_nodiscard(headers)
+    if not args.skip_compile:
+        violations += check_self_contained(headers, args.verbose)
+
+    for v in sorted(violations, key=str):
+        print(v)
+    if violations:
+        print(f"pasjoin_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    checked = len(files)
+    print(f"pasjoin_lint: OK ({checked} files, "
+          f"{len(headers)} headers checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

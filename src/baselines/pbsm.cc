@@ -119,9 +119,12 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.collect_results = options.collect_results;
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
+  engine_options.fault = options.fault;
 
-  exec::JoinRun run = exec::RunPartitionedJoin(
+  Result<exec::JoinRun> run_result = exec::TryRunPartitionedJoin(
       r, s, assign, assignment.AsOwnerFn(), engine_options);
+  if (!run_result.ok()) return run_result.status();
+  exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = PbsmVariantName(variant);
   run.metrics.construction_seconds += driver_seconds;
   return run;

@@ -50,6 +50,9 @@ struct PbsmOptions {
   int physical_threads = 0;
   /// Data-space MBR; computed from the inputs when unset.
   Rect mbr;
+  /// Fault injection + recovery policy, forwarded to the engine
+  /// (docs/FAULT_TOLERANCE.md). Off by default.
+  exec::FaultOptions fault;
 };
 
 /// Runs the PBSM eps-distance join.

@@ -86,10 +86,13 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.collect_results = options.collect_results;
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
+  engine_options.fault = options.fault;
 
-  exec::JoinRun run =
-      exec::RunPartitionedJoin(r, s, assign, owner, engine_options,
-                               exec::RTreeProbeLocalJoinIndexing(indexed));
+  Result<exec::JoinRun> run_result =
+      exec::TryRunPartitionedJoin(r, s, assign, owner, engine_options,
+                                  exec::RTreeProbeLocalJoinIndexing(indexed));
+  if (!run_result.ok()) return run_result.status();
+  exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = "Sedona";
   run.metrics.construction_seconds += driver_seconds;
   return run;

@@ -44,6 +44,9 @@ struct SedonaOptions {
   int physical_threads = 0;
   /// Data-space MBR; computed from the inputs when unset.
   Rect mbr;
+  /// Fault injection + recovery policy, forwarded to the engine
+  /// (docs/FAULT_TOLERANCE.md). Off by default.
+  exec::FaultOptions fault;
 };
 
 /// Runs the Sedona-like eps-distance join.

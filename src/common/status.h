@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kOutOfRange = 3,
   kNotImplemented = 4,
   kInternal = 5,
+  /// A bounded resource was exhausted (e.g. the task retry budget of the
+  /// fault-tolerant engine, docs/FAULT_TOLERANCE.md).
+  kResourceExhausted = 6,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "IOError", ...).
@@ -69,6 +72,9 @@ class Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True when the operation succeeded.

@@ -54,6 +54,9 @@ struct AdaptiveJoinOptions {
   int physical_threads = 0;
   /// Data-space MBR; when unset (zero area) it is computed from the inputs.
   Rect mbr;
+  /// Fault injection + recovery policy, forwarded to the engine
+  /// (docs/FAULT_TOLERANCE.md). Off by default.
+  exec::FaultOptions fault;
 };
 
 /// Diagnostics of the construction phase, for experiments and debugging.

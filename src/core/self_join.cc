@@ -87,9 +87,12 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
   engine_options.self_join = true;
+  engine_options.fault = options.fault;
 
-  exec::JoinRun run =
-      exec::RunPartitionedJoin(data, data, assign, owner, engine_options);
+  Result<exec::JoinRun> run_result =
+      exec::TryRunPartitionedJoin(data, data, assign, owner, engine_options);
+  if (!run_result.ok()) return run_result.status();
+  exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = "self-join";
   run.metrics.construction_seconds += driver_seconds;
   return run;

@@ -29,6 +29,9 @@ struct SelfJoinOptions {
   int physical_threads = 0;
   /// Data-space MBR; computed from the input when unset.
   Rect mbr;
+  /// Fault injection + recovery policy, forwarded to the engine
+  /// (docs/FAULT_TOLERANCE.md). Off by default.
+  exec::FaultOptions fault;
 };
 
 /// Computes { (a, b) : a.id < b.id, d(a, b) <= eps } over `data`.

@@ -2,6 +2,7 @@
 #include "datagen/io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -65,6 +66,12 @@ Result<Dataset> ReadCsv(const std::string& path) {
       return Status::IOError("malformed CSV line " + std::to_string(lineno) +
                              " in " + path);
     }
+    // scanf accepts "nan"/"inf" spellings; such coordinates would silently
+    // poison every downstream grid/join computation, so reject them here.
+    if (!std::isfinite(t.pt.x) || !std::isfinite(t.pt.y)) {
+      return Status::InvalidArgument("non-finite coordinate on CSV line " +
+                                     std::to_string(lineno) + " in " + path);
+    }
     if (fields == 4) t.payload = payload;
     out.tuples.push_back(std::move(t));
   }
@@ -121,6 +128,10 @@ Result<Dataset> ReadBinary(const std::string& path) {
         std::fread(&t.pt.y, sizeof(t.pt.y), 1, f.get()) != 1 ||
         std::fread(&payload_len, sizeof(payload_len), 1, f.get()) != 1) {
       return Status::IOError("truncated tuple in " + path);
+    }
+    if (!std::isfinite(t.pt.x) || !std::isfinite(t.pt.y)) {
+      return Status::InvalidArgument("non-finite coordinate in tuple " +
+                                     std::to_string(i) + " of " + path);
     }
     if (payload_len > 0) {
       t.payload.resize(payload_len);

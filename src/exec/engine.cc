@@ -1,11 +1,33 @@
 // Copyright 2026 The pasjoin Authors.
+//
+// Engine implementation. Two execution paths share the phase bodies:
+//
+//   * the fast path (fault injection disabled): identical to the original
+//     engine — every task runs exactly once, map outputs are moved into the
+//     per-worker stores and freed eagerly;
+//   * the fault-tolerant path (FaultOptions::enabled): every phase runs
+//     under a recovery runner that re-executes failed tasks from retained
+//     inputs (bounded retries with exponential backoff), rebuilds a lost
+//     logical worker's partitions from their lineage, and launches
+//     speculative backups for straggling tasks (first finisher commits,
+//     exactly once). See docs/FAULT_TOLERANCE.md for the model.
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -47,7 +69,8 @@ class PhaseClock {
 };
 
 /// Runs `task(index)` for every index in [0, count) on the pool, attributing
-/// each task's elapsed time to `owner_of(index)` in `clock`.
+/// each task's elapsed time to `owner_of(index)` in `clock` (fast path: no
+/// retries, first exception propagates out of Wait()).
 template <typename Task, typename OwnerOf>
 void RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
               OwnerOf&& owner_of, Task&& task) {
@@ -74,6 +97,15 @@ struct MapTaskOutput {
   uint64_t shuffle_bytes = 0;
   uint64_t remote_bytes = 0;
 };
+
+/// Per-partition buffers held by one logical worker.
+using Store = std::unordered_map<PartitionId, PartitionBuffers>;
+
+/// Lineage of one worker's partitions: for each partition, the map tasks
+/// (input splits) that contributed tuples to it. Held by the driver, so it
+/// survives the loss of the worker itself — exactly like Spark's
+/// driver-side RDD lineage.
+using WorkerLineage = std::unordered_map<PartitionId, std::vector<int32_t>>;
 
 }  // namespace
 
@@ -132,14 +164,248 @@ LocalJoinFn RTreeProbeLocalJoinIndexing(Side indexed) {
   };
 }
 
-JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
-                           const AssignFn& assign, const OwnerFn& owner,
-                           const EngineOptions& options,
-                           const LocalJoinFn& local_join) {
-  PASJOIN_CHECK(options.eps > 0.0);
-  PASJOIN_CHECK(options.workers >= 1);
+namespace {
+
+// ---------------------------------------------------------------------------
+// Phase bodies shared by the fast and fault-tolerant paths. Each body is a
+// pure function of retained inputs, which is what makes re-execution safe.
+// ---------------------------------------------------------------------------
+
+/// Computes one map task: routes split `task % num_splits` of relation
+/// (task < num_splits ? R : S) to its destination workers. Idempotent — the
+/// input splits ("HDFS blocks") are always retained.
+MapTaskOutput ComputeMapTask(int task, const Dataset& r, const Dataset& s,
+                             const AssignFn& assign, const OwnerFn& owner,
+                             const EngineOptions& options, int num_splits,
+                             int workers) {
+  const bool is_r = task < num_splits;
+  const int split = task % num_splits;
+  const Side side = is_r ? Side::kR : Side::kS;
+  const std::vector<Tuple>& tuples = (is_r ? r : s).tuples;
+  const size_t n = tuples.size();
+  const size_t lo =
+      n * static_cast<size_t>(split) / static_cast<size_t>(num_splits);
+  const size_t hi =
+      n * (static_cast<size_t>(split) + 1) / static_cast<size_t>(num_splits);
+  const int src_worker = split % workers;
+
+  MapTaskOutput out;
+  out.by_worker.resize(static_cast<size_t>(workers));
+  for (size_t i = lo; i < hi; ++i) {
+    const Tuple& t = tuples[i];
+    const PartitionList parts = assign(t, side);
+    PASJOIN_DCHECK(!parts.empty());
+    out.replicated += parts.size() - 1;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const PartitionId part = parts[p];
+      const int dest = owner(part);
+      Routed routed;
+      routed.part = part;
+      routed.side = side;
+      routed.tuple.id = t.id;
+      routed.tuple.pt = t.pt;
+      if (options.carry_payloads) routed.tuple.payload = t.payload;
+      const uint64_t bytes = routed.tuple.ShuffleBytes();
+      out.shuffled_tuples += 1;
+      out.shuffle_bytes += bytes;
+      if (dest != src_worker) out.remote_bytes += bytes;
+      out.by_worker[static_cast<size_t>(dest)].push_back(std::move(routed));
+    }
+  }
+  return out;
+}
+
+/// Folds one map task's counters into the job metrics.
+void AccumulateMapMetrics(const std::vector<MapTaskOutput>& map_out,
+                          int num_splits, JobMetrics* m) {
+  for (size_t task = 0; task < map_out.size(); ++task) {
+    const MapTaskOutput& out = map_out[task];
+    if (task < static_cast<size_t>(num_splits)) {
+      m->replicated_r += out.replicated;
+    } else {
+      m->replicated_s += out.replicated;
+    }
+    m->shuffled_tuples += out.shuffled_tuples;
+    m->shuffle_bytes += out.shuffle_bytes;
+    m->shuffle_remote_bytes += out.remote_bytes;
+  }
+}
+
+/// Regroup body of the fault-tolerant path: gathers worker `w`'s inbound
+/// tuples by *copying* from the retained map outputs and records each
+/// partition's lineage (the contributing map tasks).
+void BuildWorkerStoreRetained(int w, const std::vector<MapTaskOutput>& map_out,
+                              Store* store, WorkerLineage* lineage) {
+  for (size_t task = 0; task < map_out.size(); ++task) {
+    const MapTaskOutput& out = map_out[task];
+    if (out.by_worker.empty()) continue;
+    for (const Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+      PartitionBuffers& buf = (*store)[routed.part];
+      (routed.side == Side::kR ? buf.r : buf.s).push_back(routed.tuple);
+      std::vector<int32_t>& contributors = (*lineage)[routed.part];
+      if (contributors.empty() ||
+          contributors.back() != static_cast<int32_t>(task)) {
+        contributors.push_back(static_cast<int32_t>(task));
+      }
+    }
+  }
+}
+
+/// Lineage-based recovery: rebuilds a lost worker's partition buffers by
+/// re-reading exactly the retained map outputs its lineage names.
+Store RebuildWorkerStore(int w, const std::vector<MapTaskOutput>& map_out,
+                         const WorkerLineage& lineage) {
+  std::vector<int32_t> tasks;
+  for (const auto& [part, contributors] : lineage) {
+    (void)part;
+    tasks.insert(tasks.end(), contributors.begin(), contributors.end());
+  }
+  std::sort(tasks.begin(), tasks.end());
+  tasks.erase(std::unique(tasks.begin(), tasks.end()), tasks.end());
+  Store store;
+  for (int32_t task : tasks) {
+    const MapTaskOutput& out = map_out[static_cast<size_t>(task)];
+    if (out.by_worker.empty()) continue;
+    for (const Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+      PartitionBuffers& buf = store[routed.part];
+      (routed.side == Side::kR ? buf.r : buf.s).push_back(routed.tuple);
+    }
+  }
+  return store;
+}
+
+/// Output of one worker's join task.
+struct WorkerJoinOutput {
+  std::vector<ResultPair> pairs;
+  spatial::JoinCounters counters;
+  uint64_t partitions = 0;
+  uint64_t filtered = 0;
+};
+
+/// Joins every non-empty partition of `store`. May reorder buffer contents
+/// (the local join owns them) but never changes the produced multiset, so
+/// re-execution after a partial attempt is safe.
+WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
+                                 const LocalJoinFn& local_join,
+                                 bool keep_pairs) {
+  WorkerJoinOutput out;
+  std::vector<ResultPair>* pairs = keep_pairs ? &out.pairs : nullptr;
+  uint64_t* filtered = &out.filtered;
+  const bool self_join = options.self_join;
+  // In self-join mode the local join still sees every ordered match; the
+  // emit wrapper keeps only r.id < s.id (each unordered pair once) and the
+  // count is corrected after the phase.
+  std::function<void(const Tuple&, const Tuple&)> emit =
+      [pairs, filtered, self_join](const Tuple& a, const Tuple& b) {
+        if (self_join && a.id >= b.id) {
+          ++*filtered;
+          return;
+        }
+        if (pairs != nullptr) pairs->push_back(ResultPair{a.id, b.id});
+      };
+  for (auto& [part, buf] : *store) {
+    (void)part;
+    if (buf.r.empty() || buf.s.empty()) continue;
+    ++out.partitions;
+    out.counters += local_join(&buf.r, &buf.s, options.eps, emit);
+  }
+  return out;
+}
+
+/// Hash-partitions one worker's result pairs across `workers` dedup buckets.
+std::vector<std::vector<ResultPair>> ScatterWorkerPairs(
+    const std::vector<ResultPair>& pairs, int workers) {
+  std::vector<std::vector<ResultPair>> out(static_cast<size_t>(workers));
+  const ResultPairHash hasher;
+  for (const ResultPair& p : pairs) {
+    out[hasher(p) % static_cast<size_t>(workers)].push_back(p);
+  }
+  return out;
+}
+
+struct DedupMergeOutput {
+  std::vector<ResultPair> unique;
+  uint64_t count = 0;
+};
+
+/// Removes duplicates in dedup bucket `w` across all source workers.
+DedupMergeOutput MergeDedupBucket(
+    const std::vector<std::vector<std::vector<ResultPair>>>& buckets, int w,
+    int workers, bool collect) {
+  DedupMergeOutput out;
+  std::unordered_set<ResultPair, ResultPairHash> seen;
+  for (int src = 0; src < workers; ++src) {
+    for (const ResultPair& p :
+         buckets[static_cast<size_t>(src)][static_cast<size_t>(w)]) {
+      if (seen.insert(p).second && collect) out.unique.push_back(p);
+    }
+  }
+  out.count = seen.size();
+  return out;
+}
+
+/// Adds the dedup shuffle traffic (pair bytes crossing workers) to `m`.
+void AccumulateDedupShuffle(
+    const std::vector<std::vector<std::vector<ResultPair>>>& buckets,
+    int workers, JobMetrics* m) {
+  for (int src = 0; src < workers; ++src) {
+    for (int dst = 0; dst < workers; ++dst) {
+      if (src == dst) continue;
+      const uint64_t bytes =
+          buckets[static_cast<size_t>(src)][static_cast<size_t>(dst)].size() *
+          sizeof(ResultPair);
+      m->shuffle_bytes += bytes;
+      m->shuffle_remote_bytes += bytes;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input validation (kInvalidArgument instead of silently producing garbage).
+// ---------------------------------------------------------------------------
+
+Status ValidateDatasetCoordinates(const Dataset& d) {
+  for (size_t i = 0; i < d.tuples.size(); ++i) {
+    const Tuple& t = d.tuples[i];
+    if (!std::isfinite(t.pt.x) || !std::isfinite(t.pt.y)) {
+      return Status::InvalidArgument("non-finite coordinate in dataset '" +
+                                     d.name + "' at index " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateJoinInputs(const Dataset& r, const Dataset& s,
+                          const EngineOptions& options) {
+  if (!std::isfinite(options.eps) || !(options.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive and finite");
+  }
+  if (options.workers <= 0) {
+    return Status::InvalidArgument("workers must be positive");
+  }
+  if (options.num_splits < 0) {
+    return Status::InvalidArgument("num_splits must be >= 0");
+  }
+  if (options.physical_threads < 0) {
+    return Status::InvalidArgument("physical_threads must be >= 0");
+  }
+  PASJOIN_RETURN_NOT_OK(options.fault.Validate(options.workers));
+  PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(r));
+  if (&r != &s) PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(s));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: the original single-attempt execution.
+// ---------------------------------------------------------------------------
+
+JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
+                    const OwnerFn& owner, const EngineOptions& options,
+                    const LocalJoinFn& local_join) {
   const int workers = options.workers;
-  const int num_splits = options.num_splits > 0 ? options.num_splits : 4 * workers;
+  const int num_splits =
+      options.num_splits > 0 ? options.num_splits : 4 * workers;
   const int physical = options.physical_threads > 0 ? options.physical_threads
                                                     : ThreadPool::DefaultThreads();
   ThreadPool pool(physical);
@@ -157,58 +423,18 @@ JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
   PhaseClock map_clock(workers);
   auto map_owner = [&](int task) { return (task % num_splits) % workers; };
   RunPhase(&pool, total_map_tasks, &map_clock, map_owner, [&](int task) {
-    const bool is_r = task < num_splits;
-    const int split = task % num_splits;
-    const Side side = is_r ? Side::kR : Side::kS;
-    const std::vector<Tuple>& tuples = (is_r ? r : s).tuples;
-    const size_t n = tuples.size();
-    const size_t lo = n * static_cast<size_t>(split) / num_splits;
-    const size_t hi = n * (static_cast<size_t>(split) + 1) / num_splits;
-    const int src_worker = split % workers;
-
-    MapTaskOutput& out = map_out[static_cast<size_t>(task)];
-    out.by_worker.resize(static_cast<size_t>(workers));
-    for (size_t i = lo; i < hi; ++i) {
-      const Tuple& t = tuples[i];
-      const PartitionList parts = assign(t, side);
-      PASJOIN_DCHECK(!parts.empty());
-      out.replicated += parts.size() - 1;
-      for (size_t p = 0; p < parts.size(); ++p) {
-        const PartitionId part = parts[p];
-        const int dest = owner(part);
-        Routed routed;
-        routed.part = part;
-        routed.side = side;
-        routed.tuple.id = t.id;
-        routed.tuple.pt = t.pt;
-        if (options.carry_payloads) routed.tuple.payload = t.payload;
-        const uint64_t bytes = routed.tuple.ShuffleBytes();
-        out.shuffled_tuples += 1;
-        out.shuffle_bytes += bytes;
-        if (dest != src_worker) out.remote_bytes += bytes;
-        out.by_worker[static_cast<size_t>(dest)].push_back(std::move(routed));
-      }
-    }
+    map_out[static_cast<size_t>(task)] =
+        ComputeMapTask(task, r, s, assign, owner, options, num_splits, workers);
   });
-  for (int task = 0; task < total_map_tasks; ++task) {
-    const MapTaskOutput& out = map_out[static_cast<size_t>(task)];
-    if (task < num_splits) {
-      m.replicated_r += out.replicated;
-    } else {
-      m.replicated_s += out.replicated;
-    }
-    m.shuffled_tuples += out.shuffled_tuples;
-    m.shuffle_bytes += out.shuffle_bytes;
-    m.shuffle_remote_bytes += out.remote_bytes;
-  }
+  AccumulateMapMetrics(map_out, num_splits, &m);
 
   // ------------------------------------------------------------ regroup ---
-  // Each worker gathers its inbound tuples into per-partition buffers.
-  std::vector<std::unordered_map<PartitionId, PartitionBuffers>> stores(
-      static_cast<size_t>(workers));
+  // Each worker gathers its inbound tuples into per-partition buffers; the
+  // fast path moves them out of the map outputs and frees the shuffle early.
+  std::vector<Store> stores(static_cast<size_t>(workers));
   PhaseClock regroup_clock(workers);
   RunPhase(&pool, workers, &regroup_clock, [](int w) { return w; }, [&](int w) {
-    auto& store = stores[static_cast<size_t>(w)];
+    Store& store = stores[static_cast<size_t>(w)];
     for (MapTaskOutput& out : map_out) {
       if (out.by_worker.empty()) continue;
       for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
@@ -229,32 +455,15 @@ JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
   std::vector<spatial::JoinCounters> worker_counters(
       static_cast<size_t>(workers));
   std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
-  PhaseClock join_clock(workers);
   std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
+  PhaseClock join_clock(workers);
   RunPhase(&pool, workers, &join_clock, [](int w) { return w; }, [&](int w) {
-    auto& store = stores[static_cast<size_t>(w)];
-    std::vector<ResultPair>* pairs =
-        keep_pairs ? &worker_pairs[static_cast<size_t>(w)] : nullptr;
-    uint64_t* filtered = &worker_filtered[static_cast<size_t>(w)];
-    const bool self_join = options.self_join;
-    // In self-join mode the local join still sees every ordered match; the
-    // emit wrapper keeps only r.id < s.id (each unordered pair once) and
-    // the count is corrected after the phase.
-    std::function<void(const Tuple&, const Tuple&)> emit =
-        [pairs, filtered, self_join](const Tuple& a, const Tuple& b) {
-          if (self_join && a.id >= b.id) {
-            ++*filtered;
-            return;
-          }
-          if (pairs != nullptr) pairs->push_back(ResultPair{a.id, b.id});
-        };
-    for (auto& [part, buf] : store) {
-      (void)part;
-      if (buf.r.empty() || buf.s.empty()) continue;
-      ++worker_partitions[static_cast<size_t>(w)];
-      worker_counters[static_cast<size_t>(w)] +=
-          local_join(&buf.r, &buf.s, options.eps, emit);
-    }
+    WorkerJoinOutput out = JoinWorkerStore(&stores[static_cast<size_t>(w)],
+                                           options, local_join, keep_pairs);
+    worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
+    worker_counters[static_cast<size_t>(w)] = out.counters;
+    worker_partitions[static_cast<size_t>(w)] = out.partitions;
+    worker_filtered[static_cast<size_t>(w)] = out.filtered;
   });
   for (int w = 0; w < workers; ++w) {
     m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
@@ -275,41 +484,19 @@ JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
     PhaseClock scatter_clock(workers);
     RunPhase(&pool, workers, &scatter_clock, [](int w) { return w; },
              [&](int w) {
-               auto& out = buckets[static_cast<size_t>(w)];
-               out.resize(static_cast<size_t>(workers));
-               const ResultPairHash hasher;
-               for (const ResultPair& p :
-                    worker_pairs[static_cast<size_t>(w)]) {
-                 out[hasher(p) % static_cast<size_t>(workers)].push_back(p);
-               }
+               buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
+                   worker_pairs[static_cast<size_t>(w)], workers);
              });
     // Pair bytes crossing workers count as shuffle traffic.
-    for (int src = 0; src < workers; ++src) {
-      for (int dst = 0; dst < workers; ++dst) {
-        if (src == dst) continue;
-        const uint64_t bytes =
-            buckets[static_cast<size_t>(src)][static_cast<size_t>(dst)].size() *
-            sizeof(ResultPair);
-        m.shuffle_bytes += bytes;
-        m.shuffle_remote_bytes += bytes;
-      }
-    }
+    AccumulateDedupShuffle(buckets, workers, &m);
     std::vector<std::vector<ResultPair>> unique_pairs(
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
     RunPhase(&pool, workers, &dedup_clock, [](int w) { return w; }, [&](int w) {
-      std::unordered_set<ResultPair, ResultPairHash> seen;
-      for (int src = 0; src < workers; ++src) {
-        for (const ResultPair& p :
-             buckets[static_cast<size_t>(src)][static_cast<size_t>(w)]) {
-          if (seen.insert(p).second) {
-            if (options.collect_results) {
-              unique_pairs[static_cast<size_t>(w)].push_back(p);
-            }
-          }
-        }
-      }
-      unique_counts[static_cast<size_t>(w)] = seen.size();
+      DedupMergeOutput out =
+          MergeDedupBucket(buckets, w, workers, options.collect_results);
+      unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
+      unique_counts[static_cast<size_t>(w)] = out.count;
     });
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
     m.results = 0;
@@ -332,6 +519,488 @@ JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
   m.worker_busy_join = join_clock.busy();
   m.wall_seconds = wall.ElapsedSeconds();
   return run;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant path: the recovery runner plus the recoverable phases.
+// ---------------------------------------------------------------------------
+
+/// Aggregated fault-tolerance counters of one job.
+struct FaultStats {
+  uint64_t failed = 0;
+  uint64_t retried = 0;
+  uint64_t speculated = 0;
+  double recovery_seconds = 0.0;
+};
+
+/// What a task body returns: a commit closure that publishes the computed
+/// result into the phase's output slots. The runner calls it exactly once
+/// per task (first finisher wins), which keeps speculative execution
+/// duplicate-free.
+using PublishFn = std::function<void()>;
+using TaskBody = std::function<PublishFn(int task)>;
+
+/// Executes `count` tasks of `phase` with recovery semantics:
+///   * every injected/real failure is retried (fresh attempt id, exponential
+///     backoff) until FaultOptions::max_retries is exhausted, at which point
+///     the phase aborts with kResourceExhausted;
+///   * the configured worker loss fails the worker's first attempts, and its
+///     re-executions (like all post-loss work of that worker) are attributed
+///     to the deterministic failover neighbor (lost + 1) % workers;
+///   * once enough tasks committed, any task running longer than
+///     straggler_multiplier x the median committed time gets one speculative
+///     backup; whichever attempt finishes first commits.
+/// All in-flight attempts are drained before returning, so phase-local
+/// state owned by the caller stays valid.
+Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
+                          PhaseClock* clock,
+                          const std::function<int(int)>& owner_of,
+                          const FaultInjector& injector, bool* worker_lost,
+                          FaultStats* stats, const TaskBody& body) {
+  if (count <= 0) return Status::OK();
+  const FaultOptions& fo = injector.options();
+  const bool lose_here = injector.LosesWorkerIn(phase);
+  if (lose_here) *worker_lost = true;
+  const bool lost_active = *worker_lost;
+  const int lost = injector.lost_worker();
+  const int survivor =
+      (lost >= 0 && workers >= 2) ? (lost + 1) % workers : -1;
+
+  struct TaskState {
+    bool committed = false;
+    bool publishing = false;
+    int running = 0;
+    int attempts = 0;
+    int failures = 0;
+    int handled_failures = 0;
+    bool speculated = false;
+    /// Seconds since phase start at which the oldest live attempt began
+    /// executing (-1 while queued); drives the speculation threshold.
+    double started_at = -1.0;
+    std::string last_error;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<TaskState> states(static_cast<size_t>(count));
+  int committed_count = 0;
+  int running_total = 0;
+  bool aborted = false;
+  std::vector<double> committed_durations;
+  uint64_t failed_local = 0;
+  uint64_t retried_local = 0;
+  uint64_t speculated_local = 0;
+  double recovery_local = 0.0;
+  Stopwatch phase_watch;
+
+  auto attribution = [&](int task) {
+    const int w = owner_of(task);
+    if (lost_active && w == lost && survivor >= 0) return survivor;
+    return w;
+  };
+
+  // Launches one attempt. Caller must hold `mu`.
+  auto launch = [&](int task, int attempt, double backoff_seconds,
+                    bool is_retry) {
+    TaskState& st = states[static_cast<size_t>(task)];
+    st.attempts++;
+    st.running++;
+    running_total++;
+    pool->Submit([&, task, attempt, backoff_seconds, is_retry] {
+      if (backoff_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff_seconds));
+      }
+      auto abandon = [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        states[static_cast<size_t>(task)].running--;
+        running_total--;
+        cv.notify_all();
+      };
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        TaskState& ts = states[static_cast<size_t>(task)];
+        if (ts.committed) {
+          // A queued backup whose original already won: nothing to do.
+          ts.running--;
+          running_total--;
+          cv.notify_all();
+          return;
+        }
+        if (ts.started_at < 0.0) ts.started_at = phase_watch.ElapsedSeconds();
+      }
+      Stopwatch attempt_watch;
+      bool failed = false;
+      std::string error;
+      PublishFn publish;
+      if (lose_here && attempt == 0 && owner_of(task) == lost) {
+        failed = true;
+        error = "logical worker " + std::to_string(lost) + " lost";
+      } else if (injector.ShouldFail(phase, task, attempt)) {
+        failed = true;
+        error = "injected fault";
+      } else {
+        if (injector.IsStraggler(phase, task, attempt)) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              injector.StragglerDelaySeconds()));
+          std::unique_lock<std::mutex> lock(mu);
+          if (states[static_cast<size_t>(task)].committed) {
+            // A speculative backup finished while this straggler slept.
+            lock.unlock();
+            abandon();
+            return;
+          }
+        }
+        try {
+          publish = body(task);
+        } catch (const std::exception& e) {
+          failed = true;
+          error = e.what();
+        } catch (...) {
+          failed = true;
+          error = "unknown exception";
+        }
+      }
+      bool winner = false;
+      if (!failed) {
+        std::lock_guard<std::mutex> lock(mu);
+        TaskState& ts = states[static_cast<size_t>(task)];
+        if (!ts.committed && !ts.publishing) {
+          ts.publishing = true;
+          winner = true;
+        }
+      }
+      if (winner) {
+        if (publish) publish();
+        clock->Add(attribution(task), attempt_watch.ElapsedSeconds());
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        TaskState& ts = states[static_cast<size_t>(task)];
+        if (winner) {
+          ts.committed = true;
+          committed_count++;
+          committed_durations.push_back(attempt_watch.ElapsedSeconds());
+        }
+        if (failed) {
+          ts.failures++;
+          ts.last_error = error;
+          failed_local++;
+        }
+        if (is_retry) {
+          recovery_local += backoff_seconds + attempt_watch.ElapsedSeconds();
+        }
+        ts.running--;
+        running_total--;
+        cv.notify_all();
+      }
+    });
+  };
+
+  Status failure;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (int t = 0; t < count; ++t) launch(t, 0, 0.0, /*is_retry=*/false);
+
+    while (committed_count < count) {
+      // 1. Retry newly failed tasks (or give up once the budget is spent).
+      for (int t = 0; t < count; ++t) {
+        TaskState& st = states[static_cast<size_t>(t)];
+        if (st.committed || st.failures == st.handled_failures) continue;
+        if (st.running > 0) continue;  // a live attempt may still succeed
+        if (st.failures > fo.max_retries) {
+          failure = Status::ResourceExhausted(
+              "task " + std::to_string(t) + " of phase " + PhaseName(phase) +
+              " failed " + std::to_string(st.failures) +
+              " time(s), retry budget (" + std::to_string(fo.max_retries) +
+              ") exhausted; last error: " + st.last_error);
+          aborted = true;
+          break;
+        }
+        const int retry_index = st.failures;  // 1-based
+        const double backoff_seconds =
+            fo.backoff_base_ms *
+            std::pow(fo.backoff_multiplier, retry_index - 1) / 1000.0;
+        st.handled_failures = st.failures;
+        st.started_at = -1.0;  // re-arm the speculation timer
+        retried_local++;
+        launch(t, st.attempts, backoff_seconds, /*is_retry=*/true);
+      }
+      if (aborted) break;
+
+      // 2. Speculative execution: back up tasks that exceed the threshold.
+      if (fo.speculation && !committed_durations.empty()) {
+        const size_t min_samples =
+            std::max<size_t>(3, static_cast<size_t>(count) / 4);
+        if (committed_durations.size() >= min_samples) {
+          std::vector<double> durations = committed_durations;
+          const size_t mid = durations.size() / 2;
+          std::nth_element(durations.begin(),
+                           durations.begin() + static_cast<std::ptrdiff_t>(mid),
+                           durations.end());
+          const double median = durations[mid];
+          const double threshold =
+              std::max(fo.straggler_multiplier * median, 1e-3);
+          const double now = phase_watch.ElapsedSeconds();
+          for (int t = 0; t < count; ++t) {
+            TaskState& st = states[static_cast<size_t>(t)];
+            if (st.committed || st.speculated || st.running == 0) continue;
+            if (st.failures != st.handled_failures) continue;
+            if (st.started_at < 0.0 || now - st.started_at <= threshold) {
+              continue;
+            }
+            st.speculated = true;
+            speculated_local++;
+            launch(t, st.attempts, 0.0, /*is_retry=*/false);
+          }
+        }
+      }
+      cv.wait_for(lock, std::chrono::microseconds(500));
+    }
+    // Drain every in-flight attempt before phase-local state goes away.
+    cv.wait(lock, [&] { return running_total == 0; });
+  }
+
+  stats->failed += failed_local;
+  stats->retried += retried_local;
+  stats->speculated += speculated_local;
+  stats->recovery_seconds += recovery_local;
+  if (aborted) return failure;
+  return Status::OK();
+}
+
+Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
+                                 const AssignFn& assign, const OwnerFn& owner,
+                                 const EngineOptions& options,
+                                 const LocalJoinFn& local_join) {
+  const int workers = options.workers;
+  const int num_splits =
+      options.num_splits > 0 ? options.num_splits : 4 * workers;
+  const int physical = options.physical_threads > 0 ? options.physical_threads
+                                                    : ThreadPool::DefaultThreads();
+  ThreadPool pool(physical);
+  FaultInjector injector(options.fault);
+  bool worker_lost = false;
+  FaultStats stats;
+  std::mutex rebuild_mu;
+  double rebuild_seconds = 0.0;
+
+  // Targeted partition failures strike the join task of the owning worker.
+  for (int32_t part : options.fault.fail_partitions) {
+    injector.AddTargetedFailure(Phase::kJoin, owner(part));
+  }
+
+  JoinRun run;
+  JobMetrics& m = run.metrics;
+  m.workers = workers;
+  Stopwatch wall;
+
+  // ---------------------------------------------------------------- map ---
+  const int total_map_tasks = 2 * num_splits;
+  std::vector<MapTaskOutput> map_out(static_cast<size_t>(total_map_tasks));
+  PhaseClock map_clock(workers);
+  const std::function<int(int)> map_owner = [num_splits, workers](int task) {
+    return (task % num_splits) % workers;
+  };
+  {
+    const TaskBody body = [&](int task) -> PublishFn {
+      auto out = std::make_shared<MapTaskOutput>(ComputeMapTask(
+          task, r, s, assign, owner, options, num_splits, workers));
+      return [out, task, &map_out] {
+        map_out[static_cast<size_t>(task)] = std::move(*out);
+      };
+    };
+    Status st =
+        RunRecoveringPhase(&pool, Phase::kMap, total_map_tasks, workers,
+                           &map_clock, map_owner, injector, &worker_lost,
+                           &stats, body);
+    if (!st.ok()) return st;
+  }
+  AccumulateMapMetrics(map_out, num_splits, &m);
+
+  // ------------------------------------------------------------ regroup ---
+  // The map outputs are the retained split data every re-execution recovers
+  // from, so (unlike the fast path) they are copied, not moved, and stay
+  // alive until the join phase has fully committed.
+  std::vector<Store> stores(static_cast<size_t>(workers));
+  std::vector<WorkerLineage> lineages(static_cast<size_t>(workers));
+  std::vector<char> store_valid(static_cast<size_t>(workers), 0);
+  std::vector<std::mutex> store_mu(static_cast<size_t>(workers));
+  PhaseClock regroup_clock(workers);
+  const std::function<int(int)> identity = [](int w) { return w; };
+  {
+    const TaskBody body = [&](int w) -> PublishFn {
+      auto store = std::make_shared<Store>();
+      auto lineage = std::make_shared<WorkerLineage>();
+      BuildWorkerStoreRetained(w, map_out, store.get(), lineage.get());
+      return [&, w, store, lineage] {
+        stores[static_cast<size_t>(w)] = std::move(*store);
+        lineages[static_cast<size_t>(w)] = std::move(*lineage);
+        store_valid[static_cast<size_t>(w)] = 1;
+      };
+    };
+    Status st = RunRecoveringPhase(&pool, Phase::kRegroup, workers, workers,
+                                   &regroup_clock, identity, injector,
+                                   &worker_lost, &stats, body);
+    if (!st.ok()) return st;
+  }
+
+  // A worker lost during the join phase takes its in-memory partition
+  // buffers with it; recovery must rebuild them from lineage.
+  if (injector.LosesWorkerIn(Phase::kJoin)) {
+    const int lost = injector.lost_worker();
+    stores[static_cast<size_t>(lost)].clear();
+    store_valid[static_cast<size_t>(lost)] = 0;
+  }
+
+  // --------------------------------------------------------------- join ---
+  const bool keep_pairs = options.collect_results || options.deduplicate;
+  std::vector<std::vector<ResultPair>> worker_pairs(
+      static_cast<size_t>(workers));
+  std::vector<spatial::JoinCounters> worker_counters(
+      static_cast<size_t>(workers));
+  std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
+  std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
+  PhaseClock join_clock(workers);
+  {
+    const TaskBody body = [&](int w) -> PublishFn {
+      auto out = std::make_shared<WorkerJoinOutput>();
+      {
+        // Serializes concurrent attempts of the same task (the local join
+        // may reorder buffers) and guards lineage-based store rebuilds.
+        std::lock_guard<std::mutex> lock(store_mu[static_cast<size_t>(w)]);
+        if (store_valid[static_cast<size_t>(w)] == 0) {
+          Stopwatch rebuild;
+          stores[static_cast<size_t>(w)] = RebuildWorkerStore(
+              w, map_out, lineages[static_cast<size_t>(w)]);
+          store_valid[static_cast<size_t>(w)] = 1;
+          std::lock_guard<std::mutex> stats_lock(rebuild_mu);
+          rebuild_seconds += rebuild.ElapsedSeconds();
+        }
+        *out = JoinWorkerStore(&stores[static_cast<size_t>(w)], options,
+                               local_join, keep_pairs);
+      }
+      return [&, w, out] {
+        worker_pairs[static_cast<size_t>(w)] = std::move(out->pairs);
+        worker_counters[static_cast<size_t>(w)] = out->counters;
+        worker_partitions[static_cast<size_t>(w)] = out->partitions;
+        worker_filtered[static_cast<size_t>(w)] = out->filtered;
+      };
+    };
+    Status st = RunRecoveringPhase(&pool, Phase::kJoin, workers, workers,
+                                   &join_clock, identity, injector,
+                                   &worker_lost, &stats, body);
+    if (!st.ok()) return st;
+  }
+  for (int w = 0; w < workers; ++w) {
+    m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
+    m.results += worker_counters[static_cast<size_t>(w)].results -
+                 worker_filtered[static_cast<size_t>(w)];
+    m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
+  }
+  map_out.clear();
+  map_out.shrink_to_fit();
+  stores.clear();
+
+  // -------------------------------------------------------------- dedup ---
+  PhaseClock dedup_clock(workers);
+  if (options.deduplicate) {
+    std::vector<std::vector<std::vector<ResultPair>>> buckets(
+        static_cast<size_t>(workers));
+    PhaseClock scatter_clock(workers);
+    {
+      const TaskBody body = [&](int w) -> PublishFn {
+        auto out = std::make_shared<std::vector<std::vector<ResultPair>>>(
+            ScatterWorkerPairs(worker_pairs[static_cast<size_t>(w)], workers));
+        return [&, w, out] {
+          buckets[static_cast<size_t>(w)] = std::move(*out);
+        };
+      };
+      Status st = RunRecoveringPhase(&pool, Phase::kDedupScatter, workers,
+                                     workers, &scatter_clock, identity,
+                                     injector, &worker_lost, &stats, body);
+      if (!st.ok()) return st;
+    }
+    AccumulateDedupShuffle(buckets, workers, &m);
+    std::vector<std::vector<ResultPair>> unique_pairs(
+        static_cast<size_t>(workers));
+    std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
+    {
+      const TaskBody body = [&](int w) -> PublishFn {
+        auto out = std::make_shared<DedupMergeOutput>(
+            MergeDedupBucket(buckets, w, workers, options.collect_results));
+        return [&, w, out] {
+          unique_pairs[static_cast<size_t>(w)] = std::move(out->unique);
+          unique_counts[static_cast<size_t>(w)] = out->count;
+        };
+      };
+      Status st = RunRecoveringPhase(&pool, Phase::kDedupMerge, workers,
+                                     workers, &dedup_clock, identity, injector,
+                                     &worker_lost, &stats, body);
+      if (!st.ok()) return st;
+    }
+    m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
+    m.results = 0;
+    for (int w = 0; w < workers; ++w) {
+      m.results += unique_counts[static_cast<size_t>(w)];
+    }
+    if (options.collect_results) {
+      for (auto& v : unique_pairs) {
+        run.pairs.insert(run.pairs.end(), v.begin(), v.end());
+      }
+    }
+  } else if (options.collect_results) {
+    for (auto& v : worker_pairs) {
+      run.pairs.insert(run.pairs.end(), v.begin(), v.end());
+    }
+  }
+
+  m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
+  m.join_seconds = join_clock.Makespan();
+  m.worker_busy_join = join_clock.busy();
+  m.tasks_failed = stats.failed;
+  m.tasks_retried = stats.retried;
+  m.tasks_speculated = stats.speculated;
+  m.recovery_seconds = stats.recovery_seconds + rebuild_seconds;
+  m.wall_seconds = wall.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace
+
+Result<JoinRun> TryRunPartitionedJoin(const Dataset& r, const Dataset& s,
+                                      const AssignFn& assign,
+                                      const OwnerFn& owner,
+                                      const EngineOptions& options,
+                                      const LocalJoinFn& local_join) {
+  {
+    Status st = ValidateJoinInputs(r, s, options);
+    if (!st.ok()) return st;
+  }
+  if (options.fault.enabled) {
+    return RunFaultTolerant(r, s, assign, owner, options, local_join);
+  }
+  try {
+    return RunFastPath(r, s, assign, owner, options, local_join);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("engine task failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("engine task failed: unknown exception");
+  }
+}
+
+JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
+                           const AssignFn& assign, const OwnerFn& owner,
+                           const EngineOptions& options,
+                           const LocalJoinFn& local_join) {
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, assign, owner, options, local_join);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunPartitionedJoin: %s\n",
+                 result.status().ToString().c_str());
+  }
+  PASJOIN_CHECK(result.ok());
+  return result.MoveValue();
 }
 
 }  // namespace pasjoin::exec

@@ -17,6 +17,13 @@
 // every task is attributed to the *logical* worker that owns it; a phase's
 // simulated duration is the makespan (max per-worker busy time). This makes
 // the paper's scalability experiments meaningful on any host (DESIGN.md §2).
+//
+// Fault tolerance: TryRunPartitionedJoin executes the same dataflow with the
+// recovery semantics of the Spark substrate the paper runs on — lineage-based
+// task retry with exponential backoff, worker-loss recovery from retained
+// split data, and speculative re-execution of stragglers. The model, its
+// guarantees, and the FaultOptions knobs are documented in
+// docs/FAULT_TOLERANCE.md.
 #ifndef PASJOIN_EXEC_ENGINE_H_
 #define PASJOIN_EXEC_ENGINE_H_
 
@@ -25,7 +32,9 @@
 #include <vector>
 
 #include "common/small_vector.h"
+#include "common/status.h"
 #include "common/tuple.h"
+#include "exec/fault_injector.h"
 #include "exec/metrics.h"
 #include "spatial/local_join.h"
 
@@ -85,6 +94,9 @@ struct EngineOptions {
   bool self_join = false;
   /// Physical threads to execute on; 0 selects the host's core count.
   int physical_threads = 0;
+  /// Fault injection + recovery policy (docs/FAULT_TOLERANCE.md). Ignored
+  /// unless fault.enabled; the default keeps the zero-overhead fast path.
+  FaultOptions fault;
 };
 
 /// Outcome of a partitioned join run.
@@ -94,8 +106,26 @@ struct JoinRun {
   std::vector<ResultPair> pairs;
 };
 
-/// Runs the map/shuffle/join dataflow. `assign` decides replication;
-/// `owner` decides placement; `local_join` computes each partition's join.
+/// Runs the map/shuffle/join dataflow with fault tolerance. `assign` decides
+/// replication; `owner` decides placement; `local_join` computes each
+/// partition's join.
+///
+/// Inputs are validated (finite coordinates, eps > 0, workers > 0, coherent
+/// FaultOptions) and rejected with kInvalidArgument. When fault injection is
+/// enabled, failed or lost tasks are re-executed from retained split data
+/// (bounded retries with exponential backoff), a lost logical worker's
+/// partitions are rebuilt on survivors from their lineage, and straggling
+/// tasks are backed up speculatively; the recovered result is identical to a
+/// fault-free run. Returns kResourceExhausted when a task exhausts its retry
+/// budget and kInternal when a task of the fast path throws — this function
+/// never throws from the engine itself.
+[[nodiscard]] Result<JoinRun> TryRunPartitionedJoin(
+    const Dataset& r, const Dataset& s, const AssignFn& assign,
+    const OwnerFn& owner, const EngineOptions& options,
+    const LocalJoinFn& local_join = PlaneSweepLocalJoin());
+
+/// Legacy convenience wrapper over TryRunPartitionedJoin: aborts the process
+/// (PASJOIN_CHECK) on any error. Prefer the Try variant in new code.
 JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
                            const AssignFn& assign, const OwnerFn& owner,
                            const EngineOptions& options,

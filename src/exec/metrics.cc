@@ -7,7 +7,7 @@
 namespace pasjoin::exec {
 
 std::string JobMetrics::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "%s: repl=%" PRIu64 " shuffled=%" PRIu64 " remoteMB=%.2f "
                 "cand=%" PRIu64 " res=%" PRIu64
@@ -18,7 +18,17 @@ std::string JobMetrics::ToString() const {
                 candidates, results, construction_seconds, join_seconds,
                 dedup_seconds, TotalSeconds(), wall_seconds, workers,
                 JoinImbalance());
-  return std::string(buf);
+  std::string out(buf);
+  if (tasks_failed > 0 || tasks_retried > 0 || tasks_speculated > 0 ||
+      recovery_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  " failed=%" PRIu64 " retried=%" PRIu64 " spec=%" PRIu64
+                  " recovery=%.3fs",
+                  tasks_failed, tasks_retried, tasks_speculated,
+                  recovery_seconds);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace pasjoin::exec

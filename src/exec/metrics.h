@@ -57,6 +57,18 @@ struct JobMetrics {
   /// TotalSeconds on hosts with fewer cores than logical workers).
   double wall_seconds = 0.0;
 
+  // --- fault tolerance (docs/FAULT_TOLERANCE.md) ---------------------------
+  /// Task attempts that failed: injected faults, simulated worker loss, and
+  /// exceptions observed by the recovery runner.
+  uint64_t tasks_failed = 0;
+  /// Re-executions launched after a failure (lineage-based recovery).
+  uint64_t tasks_retried = 0;
+  /// Speculative backup copies launched for straggling tasks.
+  uint64_t tasks_speculated = 0;
+  /// Wall-clock seconds spent recovering: backoff waits, re-executions, and
+  /// lineage-based partition rebuilds after a worker loss.
+  double recovery_seconds = 0.0;
+
   /// Per-logical-worker attributed busy seconds of the join phase (used to
   /// study LPT load balance, Table 7).
   std::vector<double> worker_busy_join;

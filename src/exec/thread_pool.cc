@@ -2,6 +2,8 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace pasjoin::exec {
@@ -34,12 +36,26 @@ void ThreadPool::Submit(std::function<void()> fn) {
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
+  size_t count = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
     error = std::exchange(first_error_, nullptr);
+    count = std::exchange(error_count_, 0);
   }
-  if (error) std::rethrow_exception(error);
+  if (!error) return;
+  if (count == 1) std::rethrow_exception(error);
+  // Several tasks failed: aggregate instead of silently dropping the rest.
+  std::string first_message = "unknown exception";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    first_message = e.what();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Non-std exception: keep the placeholder message.
+  }
+  throw std::runtime_error(std::to_string(count) +
+                           " tasks failed; first: " + first_message);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -65,7 +81,10 @@ void ThreadPool::WorkerLoop() {
     }
     {
       std::unique_lock<std::mutex> lock(mu_);
-      if (error && !first_error_) first_error_ = std::move(error);
+      if (error) {
+        if (!first_error_) first_error_ = std::move(error);
+        ++error_count_;
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

@@ -33,12 +33,15 @@ class ThreadPool {
   PASJOIN_DISALLOW_COPY(ThreadPool);
 
   /// Enqueues a task. Thread-safe; may be called concurrently from any
-  /// thread, including from within running tasks. If a task throws, the
-  /// first exception is captured and rethrown by the next Wait().
+  /// thread, including from within running tasks. If tasks throw, the first
+  /// exception is captured verbatim and every further failure is counted;
+  /// the next Wait() reports the aggregate.
   void Submit(std::function<void()> fn);
 
-  /// Blocks until every submitted task has finished. Rethrows the first
-  /// exception thrown by a task since the previous Wait(), if any.
+  /// Blocks until every submitted task has finished. If exactly one task
+  /// threw since the previous Wait(), rethrows that exception unchanged; if
+  /// several threw, throws a std::runtime_error carrying the failure count
+  /// and the first captured message (no failure is silently dropped).
   void Wait();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
@@ -55,9 +58,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
-  /// First exception thrown by a task since the last Wait(); later ones are
-  /// dropped. Guarded by mu_.
+  /// First exception thrown by a task since the last Wait(), plus the total
+  /// number of failed tasks in the same window. Guarded by mu_.
   std::exception_ptr first_error_;
+  size_t error_count_ = 0;
   std::vector<std::thread> threads_;
 };
 

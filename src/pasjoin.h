@@ -45,6 +45,7 @@
 #include "datagen/io.h"                   // IWYU pragma: export
 #include "datagen/summary.h"              // IWYU pragma: export
 #include "exec/engine.h"                  // IWYU pragma: export
+#include "exec/fault_injector.h"          // IWYU pragma: export
 #include "exec/metrics.h"                 // IWYU pragma: export
 #include "exec/thread_pool.h"             // IWYU pragma: export
 #include "extent/extent_join.h"           // IWYU pragma: export

@@ -27,6 +27,16 @@ TEST(StatusTest, AllFactories) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedCarriesMessage) {
+  const Status st = Status::ResourceExhausted("retry budget exhausted");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "retry budget exhausted");
+  EXPECT_EQ(st.ToString(), "ResourceExhausted: retry budget exhausted");
 }
 
 TEST(StatusTest, CopyAndMove) {
@@ -84,6 +94,8 @@ TEST(ResultTest, MutableValueAccess) {
 TEST(StatusCodeTest, Names) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
 }
 
 }  // namespace

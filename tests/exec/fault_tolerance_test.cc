@@ -1,0 +1,432 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Tests of the engine's fault-tolerant execution path: fault-free parity
+// with the fast path, exact recovery from injected failures, worker loss,
+// stragglers + speculative execution, retry-budget exhaustion, and the
+// input-validation contract of TryRunPartitionedJoin
+// (docs/FAULT_TOLERANCE.md).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "test_util.h"
+
+namespace pasjoin::exec {
+namespace {
+
+using pasjoin::testing::BruteForcePairs;
+using pasjoin::testing::MakeDataset;
+
+/// A simple 1-D partitioner over [0, 10): partition = floor(x), with the
+/// replicated side copied into the neighbor partitions its eps-ball touches.
+AssignFn BandAssign(double eps, Side replicated) {
+  return [eps, replicated](const Tuple& t, Side side) {
+    PartitionList out;
+    const int native = std::clamp(static_cast<int>(t.pt.x), 0, 9);
+    out.push_back(native);
+    if (side == replicated) {
+      const int lo = std::clamp(static_cast<int>(t.pt.x - eps), 0, 9);
+      const int hi = std::clamp(static_cast<int>(t.pt.x + eps), 0, 9);
+      for (int p = lo; p <= hi; ++p) {
+        if (p != native) out.push_back(p);
+      }
+    }
+    return out;
+  };
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextUniform(0, 10), rng.NextUniform(0, 1)});
+  }
+  return pts;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions options;
+  options.eps = 0.25;
+  options.workers = 4;
+  options.num_splits = 8;
+  options.physical_threads = 2;
+  options.collect_results = true;
+  return options;
+}
+
+std::vector<ResultPair> SortedPairs(JoinRun run) {
+  std::sort(run.pairs.begin(), run.pairs.end());
+  return run.pairs;
+}
+
+/// Runs the join and requires success.
+JoinRun MustRun(const Dataset& r, const Dataset& s, const AssignFn& assign,
+                const OwnerFn& owner, const EngineOptions& options) {
+  Result<JoinRun> result = TryRunPartitionedJoin(r, s, assign, owner, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  PASJOIN_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+TEST(FaultToleranceTest, FaultFreeRunMatchesFastPath) {
+  const Dataset r = MakeDataset(RandomPoints(300, 21), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 22), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+
+  const JoinRun fast = MustRun(r, s, assign, owner, options);
+  options.fault.enabled = true;  // all probabilities zero: no faults fire
+  const JoinRun tolerant = MustRun(r, s, assign, owner, options);
+
+  EXPECT_EQ(tolerant.metrics.results, fast.metrics.results);
+  EXPECT_EQ(tolerant.metrics.shuffled_tuples, fast.metrics.shuffled_tuples);
+  EXPECT_EQ(tolerant.metrics.candidates, fast.metrics.candidates);
+  EXPECT_EQ(SortedPairs(tolerant), SortedPairs(fast));
+  EXPECT_EQ(tolerant.metrics.tasks_failed, 0u);
+  EXPECT_EQ(tolerant.metrics.tasks_retried, 0u);
+}
+
+TEST(FaultToleranceTest, RecoversExactResultUnderInjectedFailures) {
+  const Dataset r = MakeDataset(RandomPoints(400, 23), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 24), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.seed = 42;
+  options.fault.map_failure_p = 0.2;
+  options.fault.regroup_failure_p = 0.2;
+  options.fault.join_failure_p = 0.2;
+  options.fault.max_retries = 25;
+  options.fault.backoff_base_ms = 0.05;
+  const JoinRun recovered = MustRun(r, s, assign, owner, options);
+
+  EXPECT_EQ(SortedPairs(recovered), truth);
+  EXPECT_GT(recovered.metrics.tasks_failed, 0u);
+  EXPECT_GT(recovered.metrics.tasks_retried, 0u);
+  EXPECT_GT(recovered.metrics.recovery_seconds, 0.0);
+}
+
+TEST(FaultToleranceTest, SameSeedSameFaultCounts) {
+  const Dataset r = MakeDataset(RandomPoints(200, 25), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(200, 26), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.fault.seed = 7;
+  options.fault.join_failure_p = 0.5;
+  options.fault.max_retries = 25;
+  options.fault.backoff_base_ms = 0.05;
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+
+  const JoinRun a = MustRun(r, s, assign, owner, options);
+  const JoinRun b = MustRun(r, s, assign, owner, options);
+  // Failure decisions are pure functions of (seed, phase, task, attempt):
+  // two runs inject the identical fault pattern regardless of scheduling.
+  EXPECT_EQ(a.metrics.tasks_failed, b.metrics.tasks_failed);
+  EXPECT_GT(a.metrics.tasks_failed, 0u);
+  EXPECT_EQ(SortedPairs(a), SortedPairs(b));
+}
+
+TEST(FaultToleranceTest, RecoversFromWorkerLossInEveryPhase) {
+  const Dataset r = MakeDataset(RandomPoints(300, 27), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 28), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kS);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  for (const Phase phase : {Phase::kMap, Phase::kRegroup, Phase::kJoin}) {
+    EngineOptions faulty = options;
+    faulty.fault.enabled = true;
+    faulty.fault.lost_worker = 2;
+    faulty.fault.lost_worker_phase = phase;
+    const JoinRun recovered =
+        MustRun(r, s, assign, owner, faulty);
+    EXPECT_EQ(SortedPairs(recovered), truth)
+        << "loss in phase " << PhaseName(phase);
+    EXPECT_GT(recovered.metrics.tasks_failed, 0u)
+        << "loss in phase " << PhaseName(phase);
+  }
+}
+
+TEST(FaultToleranceTest, WorkerLossInJoinRebuildsFromLineage) {
+  // Join-phase loss drops the lost worker's in-memory partition buffers;
+  // recovery must rebuild them from the retained map outputs (lineage) and
+  // report the rebuild time.
+  const Dataset r = MakeDataset(RandomPoints(400, 29), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 30), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.lost_worker = 1;
+  options.fault.lost_worker_phase = Phase::kJoin;
+  const JoinRun recovered = MustRun(r, s, assign, owner, options);
+  EXPECT_EQ(SortedPairs(recovered), truth);
+  EXPECT_GT(recovered.metrics.recovery_seconds, 0.0);
+}
+
+TEST(FaultToleranceTest, TargetedPartitionFailureRecovers) {
+  const Dataset r = MakeDataset(RandomPoints(300, 31), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 32), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.fail_partitions = {3, 7};
+  const JoinRun recovered = MustRun(r, s, assign, owner, options);
+  EXPECT_EQ(SortedPairs(recovered), truth);
+  EXPECT_GT(recovered.metrics.tasks_failed, 0u);
+  EXPECT_GT(recovered.metrics.tasks_retried, 0u);
+}
+
+TEST(FaultToleranceTest, StragglersAreSpeculatedAndResultStaysExact) {
+  const Dataset r = MakeDataset(RandomPoints(400, 33), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 34), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.physical_threads = 4;
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.seed = 5;
+  options.fault.straggler_p = 0.25;
+  options.fault.straggler_slowdown = 4.0;
+  options.fault.straggler_base_ms = 40.0;
+  options.fault.straggler_multiplier = 3.0;
+  options.fault.speculation = true;
+  const JoinRun recovered = MustRun(r, s, assign, owner, options);
+  // Speculation must never duplicate or lose results.
+  EXPECT_EQ(SortedPairs(recovered), truth);
+  // With a 160ms injected sleep against sub-millisecond task medians the
+  // straggling tasks exceed the speculation threshold.
+  EXPECT_GT(recovered.metrics.tasks_speculated, 0u);
+}
+
+TEST(FaultToleranceTest, SpeculationCanBeDisabled) {
+  const Dataset r = MakeDataset(RandomPoints(150, 35), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(150, 36), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.straggler_p = 0.25;
+  options.fault.straggler_base_ms = 10.0;
+  options.fault.speculation = false;
+  const JoinRun run = MustRun(r, s, assign, owner, options);
+  EXPECT_EQ(run.metrics.tasks_speculated, 0u);
+  EXPECT_EQ(SortedPairs(run), truth);
+}
+
+TEST(FaultToleranceTest, DedupPathRecoversUnderFailures) {
+  // Replicate BOTH sides so the dedup phases run, then inject faults into
+  // every phase including dedup.
+  const Dataset r = MakeDataset(RandomPoints(250, 37), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(250, 38), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.deduplicate = true;
+  const AssignFn both = [](const Tuple& t, Side) {
+    PartitionList out;
+    const int native = std::clamp(static_cast<int>(t.pt.x), 0, 9);
+    out.push_back(native);
+    const int lo = std::clamp(static_cast<int>(t.pt.x - 0.25), 0, 9);
+    const int hi = std::clamp(static_cast<int>(t.pt.x + 0.25), 0, 9);
+    for (int p = lo; p <= hi; ++p) {
+      if (p != native) out.push_back(p);
+    }
+    return out;
+  };
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const size_t truth = BruteForcePairs(r, s, options.eps).size();
+
+  options.fault.enabled = true;
+  options.fault.seed = 11;
+  options.fault.join_failure_p = 0.3;
+  options.fault.dedup_failure_p = 0.3;
+  options.fault.max_retries = 25;
+  options.fault.backoff_base_ms = 0.05;
+  const JoinRun run = MustRun(r, s, both, owner, options);
+  EXPECT_EQ(run.metrics.results, truth);
+  EXPECT_EQ(run.pairs.size(), truth);
+  EXPECT_GT(run.metrics.tasks_failed, 0u);
+}
+
+TEST(FaultToleranceTest, SelfJoinRecoversUnderFailures) {
+  const Dataset d = MakeDataset(RandomPoints(300, 39), 0, "D");
+  EngineOptions options = BaseOptions();
+  options.self_join = true;
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(d, d, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.seed = 13;
+  options.fault.join_failure_p = 0.3;
+  options.fault.max_retries = 25;
+  options.fault.backoff_base_ms = 0.05;
+  options.fault.lost_worker = 3;
+  const JoinRun recovered = MustRun(d, d, assign, owner, options);
+  EXPECT_EQ(SortedPairs(recovered), truth);
+}
+
+TEST(FaultToleranceTest, ExhaustedRetryBudgetReturnsResourceExhausted) {
+  const Dataset r = MakeDataset(RandomPoints(100, 40), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(100, 41), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.fault.join_failure_p = 1.0;  // every attempt fails
+  options.fault.max_retries = 2;
+  options.fault.backoff_base_ms = 0.05;
+  const Result<JoinRun> result = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("join"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FaultToleranceTest, ZeroRetriesFailFast) {
+  // max_retries = 0: the first injected fault fails the job - without
+  // crashing or throwing.
+  const Dataset r = MakeDataset(RandomPoints(100, 42), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(100, 43), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.fault.fail_partitions = {0};
+  options.fault.max_retries = 0;
+  const Result<JoinRun> result = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultToleranceTest, ValidationRejectsBadInputs) {
+  const Dataset r = MakeDataset(RandomPoints(10, 44), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(10, 45), 1000, "S");
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(0.25, Side::kR);
+
+  EngineOptions options = BaseOptions();
+  options.eps = 0.0;
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BaseOptions();
+  options.eps = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BaseOptions();
+  options.workers = 0;
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BaseOptions();
+  options.num_splits = -1;
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BaseOptions();
+  options.physical_threads = -2;
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BaseOptions();
+  options.fault.enabled = true;
+  options.fault.join_failure_p = 1.5;
+  EXPECT_EQ(TryRunPartitionedJoin(r, s, assign, owner, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultToleranceTest, ValidationRejectsNonFiniteCoordinates) {
+  const Dataset r = MakeDataset(RandomPoints(10, 46), 0, "R");
+  Dataset s = MakeDataset(RandomPoints(10, 47), 1000, "S");
+  s.tuples[4].pt.y = std::numeric_limits<double>::quiet_NaN();
+  const EngineOptions options = BaseOptions();
+  const Result<JoinRun> result = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST(FaultToleranceTest, FastPathConvertsTaskExceptionsToInternal) {
+  // A throwing local join on the fast path must surface as kInternal, not
+  // escape as a C++ exception or abort.
+  const Dataset r = MakeDataset(RandomPoints(50, 48), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(50, 49), 1000, "S");
+  const EngineOptions options = BaseOptions();
+  const LocalJoinFn throwing =
+      [](std::vector<Tuple>*, std::vector<Tuple>*, double,
+         const std::function<void(const Tuple&, const Tuple&)>&)
+      -> spatial::JoinCounters {
+    throw std::runtime_error("local join exploded");
+  };
+  const Result<JoinRun> result = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options, throwing);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("local join exploded"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FaultToleranceTest, FaultPathRetriesRealTaskExceptions) {
+  // On the fault-tolerant path a genuinely throwing task is handled by the
+  // same retry machinery as injected faults: the first N attempts throw,
+  // the next one succeeds, and the job recovers.
+  const Dataset r = MakeDataset(RandomPoints(200, 50), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(200, 51), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+  const std::vector<ResultPair> truth =
+      SortedPairs(MustRun(r, s, assign, owner, options));
+
+  options.fault.enabled = true;
+  options.fault.backoff_base_ms = 0.05;
+  std::atomic<int> boom_budget{3};
+  const LocalJoinFn flaky =
+      [&boom_budget](std::vector<Tuple>* a, std::vector<Tuple>* b, double eps,
+                     const std::function<void(const Tuple&, const Tuple&)>&
+                         emit) -> spatial::JoinCounters {
+    if (boom_budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      throw std::runtime_error("transient failure");
+    }
+    return PlaneSweepLocalJoin()(a, b, eps, emit);
+  };
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, assign, owner, options, flaky);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  JoinRun run = result.MoveValue();
+  EXPECT_EQ(SortedPairs(run), truth);
+  EXPECT_GT(run.metrics.tasks_failed, 0u);
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

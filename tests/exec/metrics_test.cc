@@ -41,5 +41,27 @@ TEST(JobMetricsTest, ToStringContainsKeyFields) {
   EXPECT_NE(s.find("W=8"), std::string::npos);
 }
 
+TEST(JobMetricsTest, ToStringOmitsFaultFieldsOnCleanRuns) {
+  JobMetrics m;
+  m.algorithm = "LPiB";
+  const std::string s = m.ToString();
+  EXPECT_EQ(s.find("failed="), std::string::npos) << s;
+  EXPECT_EQ(s.find("recovery="), std::string::npos) << s;
+}
+
+TEST(JobMetricsTest, ToStringReportsFaultFieldsWhenSet) {
+  JobMetrics m;
+  m.algorithm = "LPiB";
+  m.tasks_failed = 3;
+  m.tasks_retried = 2;
+  m.tasks_speculated = 1;
+  m.recovery_seconds = 0.25;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("failed=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("retried=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("spec=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("recovery=0.250s"), std::string::npos) << s;
+}
+
 }  // namespace
 }  // namespace pasjoin::exec

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -74,13 +75,36 @@ TEST(ThreadPoolStressTest, ExceptionInTaskIsRethrownByWait) {
   EXPECT_EQ(ran.load(), 17);
 }
 
-TEST(ThreadPoolStressTest, OnlyFirstExceptionIsReported) {
+TEST(ThreadPoolStressTest, AllExceptionsAreAggregatedIntoOneReport) {
   ThreadPool pool(4);
   for (int i = 0; i < 32; ++i) {
     pool.Submit([] { throw std::runtime_error("boom"); });
   }
-  EXPECT_THROW(pool.Wait(), std::runtime_error);
-  // Later exceptions were dropped; the pool is clean again.
+  // Wait() aggregates every captured failure: the rethrown exception names
+  // the total count and carries the first failure's message.
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must throw when tasks failed";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("32 tasks failed"), std::string::npos) << message;
+    EXPECT_NE(message.find("boom"), std::string::npos) << message;
+  }
+  // The failures were consumed; the pool is clean again.
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolStressTest, SingleExceptionIsRethrownVerbatim) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("lone failure"); });
+  // With exactly one failure the original exception object is rethrown,
+  // not a synthesized aggregate.
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must throw when a task failed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lone failure");
+  }
   EXPECT_NO_THROW(pool.Wait());
 }
 

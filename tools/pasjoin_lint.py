@@ -16,8 +16,12 @@ suppression mechanism):
                          agreements < exec < extent < core < baselines.
                          Lower layers never include higher ones.
   no-naked-thread        std::thread / std::jthread / std::async /
-                         pthread_create appear only under src/exec/ (the
-                         engine owns all threading).
+                         pthread_create, and the blocking/timing primitives
+                         of the retry machinery (std::this_thread::sleep_for
+                         / sleep_until, std::condition_variable[_any],
+                         usleep, nanosleep) appear only under src/exec/
+                         (the engine owns all threading, and retry/backoff
+                         timing lives in its fault-tolerance layer).
   rng-discipline         rand()/srand()/std::random_device/std::mt19937/
                          <random> appear only under src/common/rng.* (all
                          randomness flows through the deterministic Rng).
@@ -57,7 +61,9 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 SUPPRESS_RE = re.compile(r"//\s*pasjoin-lint:\s*allow\(([a-z\-, ]+)\)")
 
 THREAD_TOKEN_RE = re.compile(
-    r"\b(?:std::thread|std::jthread|std::async|pthread_create)\b")
+    r"\b(?:std::thread|std::jthread|std::async|pthread_create|"
+    r"std::this_thread::sleep_for|std::this_thread::sleep_until|"
+    r"std::condition_variable(?:_any)?|usleep\s*\(|nanosleep\s*\()")
 RNG_TOKEN_RE = re.compile(
     r"\b(?:s?rand\s*\(|std::random_device|std::mt19937(?:_64)?|"
     r"std::minstd_rand0?|std::default_random_engine|drand48\s*\()")
@@ -318,8 +324,9 @@ def main() -> int:
     violations += check_token_rule(
         files, "no-naked-thread", THREAD_TOKEN_RE,
         allowed=lambda f: f.relative_to(SRC).parts[0] == "exec",
-        message="threading primitives are confined to src/exec "
-                "(use exec::ThreadPool)")
+        message="threading/sleep/condition-variable primitives are confined "
+                "to src/exec (use exec::ThreadPool; retry/backoff timing "
+                "lives in the engine's fault-tolerance layer)")
     violations += check_token_rule(
         files, "rng-discipline", RNG_TOKEN_RE,
         allowed=lambda f: f.name in ("rng.h", "rng.cc")

@@ -1,0 +1,114 @@
+// Copyright 2026 The pasjoin Authors.
+#include "bench_json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pasjoin::bench {
+namespace {
+
+/// Formats a double compactly but losslessly enough for benchmarking
+/// (microsecond resolution over the ranges we report).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  std::string s(buf);
+  // JSON has no bare "1e+06" issues, but ensure a numeric token ("nan" and
+  // "inf" are not valid JSON; benchmarks should never produce them).
+  if (!std::isfinite(v)) return "0";
+  return s;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+double MedianSeconds(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[(samples.size() - 1) / 2];
+}
+
+double PercentileSeconds(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      std::ceil(clamped / 100.0 * static_cast<double>(samples.size()));
+  const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+std::string ToJson(const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " +
+         std::to_string(BenchReport::kSchemaVersion) + ",\n";
+  out += "  \"benchmark\": " + EscapeString(report.benchmark) + ",\n";
+  out += "  \"workload\": " + EscapeString(report.workload) + ",\n";
+  out += "  \"reps\": " + std::to_string(report.reps) + ",\n";
+  out += "  \"records\": [\n";
+  for (size_t i = 0; i < report.records.size(); ++i) {
+    const BenchRecord& r = report.records[i];
+    out += "    {\"kernel\": " + EscapeString(r.kernel);
+    out += ", \"points\": " + std::to_string(r.points);
+    out += ", \"eps\": " + FormatDouble(r.eps);
+    out += ", \"candidates\": " + std::to_string(r.candidates);
+    out += ", \"results\": " + std::to_string(r.results);
+    out += ", \"median_seconds\": " + FormatDouble(r.median_seconds);
+    out += ", \"p95_seconds\": " + FormatDouble(r.p95_seconds);
+    out += i + 1 < report.records.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n";
+  out += "}";
+  return out;
+}
+
+bool WriteJsonFile(const BenchReport& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = ToJson(report) + "\n";
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == body.size() && closed;
+  if (!ok) std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace pasjoin::bench

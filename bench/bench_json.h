@@ -1,0 +1,75 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Machine-readable benchmark reports. Harnesses that support a `--json`
+// mode build a BenchReport and serialize it to a `BENCH_<name>.json` file
+// at the repo root; `tools/check_bench.py` validates the schema and
+// compares a fresh report against the committed baseline.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "benchmark": "localjoin",
+//     "workload":  "uniform-1m",
+//     "reps": 3,
+//     "records": [
+//       {"kernel": "sweep-soa", "points": 1000000, "eps": 0.12,
+//        "candidates": 57634, "results": 45210,
+//        "median_seconds": 0.123, "p95_seconds": 0.131},
+//       ...
+//     ]
+//   }
+// Counters (candidates/results) are exact and machine-comparable across
+// hosts; the *_seconds fields are only comparable on the same machine,
+// which is why check_bench.py has an --ignore-times mode.
+#ifndef PASJOIN_BENCH_BENCH_JSON_H_
+#define PASJOIN_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasjoin::bench {
+
+/// One measured configuration: a kernel on a workload size.
+struct BenchRecord {
+  std::string kernel;
+  uint64_t points = 0;
+  double eps = 0.0;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  /// Median / 95th-percentile wall seconds over the report's `reps`
+  /// repetitions (nearest-rank percentile; with few reps p95 == max).
+  double median_seconds = 0.0;
+  double p95_seconds = 0.0;
+};
+
+/// A schema-versioned benchmark report.
+struct BenchReport {
+  /// Bump when the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+  /// Short benchmark name ("localjoin"); the output file is
+  /// BENCH_<benchmark>.json.
+  std::string benchmark;
+  /// Workload identifier ("uniform-1m").
+  std::string workload;
+  int reps = 0;
+  std::vector<BenchRecord> records;
+};
+
+/// Median of `samples` (nearest-rank for even sizes; 0 when empty).
+double MedianSeconds(std::vector<double> samples);
+
+/// Nearest-rank percentile of `samples`, `pct` in [0, 100].
+double PercentileSeconds(std::vector<double> samples, double pct);
+
+/// Serializes `report` as pretty-printed JSON (stable key order, so the
+/// committed baseline diffs cleanly).
+std::string ToJson(const BenchReport& report);
+
+/// Writes ToJson(report) to `path` (plus a trailing newline). Returns
+/// false and prints to stderr on I/O failure.
+bool WriteJsonFile(const BenchReport& report, const std::string& path);
+
+}  // namespace pasjoin::bench
+
+#endif  // PASJOIN_BENCH_BENCH_JSON_H_

@@ -1,12 +1,33 @@
 // Copyright 2026 The pasjoin Authors.
 //
-// Microbenchmarks of the per-partition join algorithms: plane sweep vs
-// nested loop vs R-tree probing, at typical cell populations.
+// Microbenchmarks of the per-partition join algorithms: the SoA sweep
+// kernel vs plane sweep vs nested loop vs R-tree probing, at typical cell
+// populations.
+//
+// Two modes:
+//   * default: google-benchmark microbenchmarks (human-readable tables);
+//   * --json[=PATH]: the machine-readable perf baseline. Runs the
+//     "uniform-1m" workload (1M uniform points per side at unit density,
+//     paper-default eps = 0.12, scaled by PASJOIN_BENCH_SCALE) through
+//     every kernel, cross-checks the SoA kernel against the nested-loop
+//     oracle on a reduced slice, and writes a schema-versioned
+//     BENCH_localjoin.json (see bench_json.h; validated by
+//     tools/check_bench.py).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "spatial/local_join.h"
 #include "spatial/rtree.h"
+#include "spatial/sweep_kernel.h"
 
 namespace pasjoin {
 namespace {
@@ -40,6 +61,19 @@ void BM_NestedLoopCell(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_NestedLoopCell)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SoaSweepCell(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Tuple> r = CellPoints(n, 1);
+  const std::vector<Tuple> s = CellPoints(n, 2);
+  uint64_t results = 0;
+  for (auto _ : state) {
+    results += spatial::SoaSweepJoinTuples(r, s, kEps, nullptr).results;
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SoaSweepCell)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_PlaneSweepCell(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -85,7 +119,166 @@ void BM_RTreeProbeCell(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeProbeCell)->Arg(256)->Arg(1024)->Arg(4096);
 
+// --- --json mode: the machine-readable perf baseline -----------------------
+
+/// `n` points uniform over a square of side sqrt(n): density stays at one
+/// point per unit^2 regardless of scale, so eps = 0.12 keeps the paper's
+/// per-pair selectivity and the workload's cost grows linearly in n.
+std::vector<Tuple> UniformUnitDensity(size_t n, uint64_t seed) {
+  const double side = std::sqrt(static_cast<double>(n));
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Tuple{static_cast<int64_t>(i),
+                        Point{rng.NextUniform(0, side), rng.NextUniform(0, side)},
+                        ""});
+  }
+  return out;
+}
+
+/// Reusable SoA buffers, like the engine's per-worker scratch: capacity is
+/// retained across repetitions so the timed region measures the kernel
+/// (load + sort + sweep), not first-touch page faults.
+struct SoaScratch {
+  spatial::SoaPartition r;
+  spatial::SoaPartition s;
+};
+
+/// Runs `kernel` once on r x s (count-only, matching the engine's
+/// default), returning counters and recording the wall time.
+spatial::JoinCounters TimeKernel(spatial::LocalJoinKernel kernel,
+                                 const std::vector<Tuple>& r,
+                                 const std::vector<Tuple>& s, double eps,
+                                 SoaScratch* scratch, double* seconds) {
+  spatial::JoinCounters counters;
+  switch (kernel) {
+    case spatial::LocalJoinKernel::kSweepSoA: {
+      const Stopwatch watch;
+      scratch->r.LoadSorted(r);
+      scratch->s.LoadSorted(s);
+      counters = spatial::SoaSweepJoin(scratch->r, scratch->s, eps, nullptr);
+      *seconds = watch.ElapsedSeconds();
+      break;
+    }
+    case spatial::LocalJoinKernel::kPlaneSweep: {
+      // The in-place sort is part of the kernel's cost; the defensive copy
+      // (which the engine's partition buffers do not need) is not.
+      std::vector<Tuple> r_buf = r;
+      std::vector<Tuple> s_buf = s;
+      const Stopwatch watch;
+      counters = spatial::PlaneSweepJoin(&r_buf, &s_buf, eps,
+                                         [](const Tuple&, const Tuple&) {});
+      *seconds = watch.ElapsedSeconds();
+      break;
+    }
+    case spatial::LocalJoinKernel::kNestedLoop: {
+      const Stopwatch watch;
+      counters = spatial::NestedLoopJoin(r, s, eps,
+                                         [](const Tuple&, const Tuple&) {});
+      *seconds = watch.ElapsedSeconds();
+      break;
+    }
+    case spatial::LocalJoinKernel::kRTree: {
+      const Stopwatch watch;
+      const spatial::RTree tree(s);
+      uint64_t results = 0;
+      for (const Tuple& q : r) {
+        tree.RangeQuery(q.pt, eps, [&results](const Tuple&) { ++results; });
+      }
+      counters.candidates = results;  // The R-tree reports matches only.
+      counters.results = results;
+      *seconds = watch.ElapsedSeconds();
+      break;
+    }
+  }
+  return counters;
+}
+
+/// Measures `kernel` over `reps` repetitions and appends a BenchRecord.
+void MeasureKernel(spatial::LocalJoinKernel kernel,
+                   const std::vector<Tuple>& r, const std::vector<Tuple>& s,
+                   double eps, int reps, bench::BenchReport* report) {
+  bench::BenchRecord record;
+  record.kernel = spatial::LocalJoinKernelName(kernel);
+  record.points = r.size();
+  record.eps = eps;
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  SoaScratch scratch;
+  for (int i = 0; i < reps; ++i) {
+    double elapsed = 0.0;
+    const spatial::JoinCounters counters = TimeKernel(kernel, r, s, eps,
+                                                      &scratch, &elapsed);
+    record.candidates = counters.candidates;
+    record.results = counters.results;
+    seconds.push_back(elapsed);
+  }
+  record.median_seconds = bench::MedianSeconds(seconds);
+  record.p95_seconds = bench::PercentileSeconds(seconds, 95.0);
+  std::fprintf(stderr, "  %-11s n=%-9zu median=%8.4fs p95=%8.4fs results=%llu\n",
+               record.kernel.c_str(), r.size(), record.median_seconds,
+               record.p95_seconds,
+               static_cast<unsigned long long>(record.results));
+  report->records.push_back(record);
+}
+
+int RunJsonMode(const std::string& path) {
+  const bench::Defaults defaults = bench::GetDefaults();
+  const size_t n = defaults.base_n;
+  const double eps = defaults.eps;
+  const int reps = defaults.time_reps;
+
+  std::fprintf(stderr, "uniform-1m workload: n=%zu eps=%.3f reps=%d\n", n, eps,
+               reps);
+  const std::vector<Tuple> r = UniformUnitDensity(n, 0xbe9c51);
+  const std::vector<Tuple> s = UniformUnitDensity(n, 0x7a11ad);
+
+  bench::BenchReport report;
+  report.benchmark = "localjoin";
+  report.workload = "uniform-1m";
+  report.reps = reps;
+
+  // Full-size records: the fast kernels. The nested loop is O(n^2) and the
+  // oracle only, so it runs on a reduced slice below.
+  for (const spatial::LocalJoinKernel kernel :
+       {spatial::LocalJoinKernel::kSweepSoA,
+        spatial::LocalJoinKernel::kPlaneSweep,
+        spatial::LocalJoinKernel::kRTree}) {
+    MeasureKernel(kernel, r, s, eps, reps, &report);
+  }
+
+  // Oracle slice: nested loop + SoA on the same reduced inputs. check_bench
+  // asserts their result counts are identical (exact correctness signal that
+  // is comparable across machines).
+  const size_t oracle_n = std::min<size_t>(n, 20'000);
+  const std::vector<Tuple> r_small = UniformUnitDensity(oracle_n, 0xbe9c51);
+  const std::vector<Tuple> s_small = UniformUnitDensity(oracle_n, 0x7a11ad);
+  MeasureKernel(spatial::LocalJoinKernel::kNestedLoop, r_small, s_small, eps,
+                reps, &report);
+  MeasureKernel(spatial::LocalJoinKernel::kSweepSoA, r_small, s_small, eps,
+                reps, &report);
+
+  if (!bench::WriteJsonFile(report, path)) return 1;
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pasjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return pasjoin::RunJsonMode("BENCH_localjoin.json");
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return pasjoin::RunJsonMode(argv[i] + 7);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,15 +4,80 @@
 # root. Knobs:
 #   PASJOIN_BENCH_SCALE  multiplier on the default 1M points per input
 #   PASJOIN_BENCH_REPS   repetitions for time-reporting harnesses (median)
+#
+# Usage:
+#   bench/run_all.sh [BUILD_DIR]          run every harness (text output)
+#   bench/run_all.sh --json [BUILD_DIR]   machine-readable mode: runs only
+#       the JSON-emitting harnesses and writes the schema-versioned
+#       BENCH_<name>.json reports at the repo root (validate / diff them
+#       with tools/check_bench.py).
+#
+# A failing benchmark fails the whole run: each binary's exit status is
+# checked explicitly (NOT through `cmd | tee`, whose pipeline status is
+# tee's), failures are reported per-benchmark, and the script exits
+# non-zero listing every harness that failed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JSON_MODE=0
+if [ "${1:-}" = "--json" ]; then
+  JSON_MODE=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
-OUT="bench_output.txt"
-: > "$OUT"
-for b in "$BUILD_DIR"/bench/*; do
-  if [ -x "$b" ] && [ -f "$b" ]; then
-    echo "### $(basename "$b")" | tee -a "$OUT"
-    "$b" 2>&1 | tee -a "$OUT"
-  fi
-done
-echo "wrote $OUT"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_all.sh: no such directory: $BUILD_DIR/bench (build first?)" >&2
+  exit 2
+fi
+
+FAILED=()
+
+if [ "$JSON_MODE" = 1 ]; then
+  # Machine-readable perf baselines. Each entry: "binary:--json=REPORT".
+  JSON_BENCHES=(
+    "bench_micro_localjoin:--json=BENCH_localjoin.json"
+  )
+  for entry in "${JSON_BENCHES[@]}"; do
+    name="${entry%%:*}"
+    flag="${entry#*:}"
+    bin="$BUILD_DIR/bench/$name"
+    if [ ! -x "$bin" ]; then
+      echo "run_all.sh: missing benchmark binary: $bin" >&2
+      FAILED+=("$name (not built)")
+      continue
+    fi
+    echo "### $name $flag"
+    if ! "$bin" "$flag"; then
+      FAILED+=("$name")
+    fi
+  done
+else
+  OUT="bench_output.txt"
+  : > "$OUT"
+  TMP="$(mktemp)"
+  trap 'rm -f "$TMP"' EXIT
+  for b in "$BUILD_DIR"/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      name="$(basename "$b")"
+      echo "### $name" | tee -a "$OUT"
+      # Capture the benchmark's own exit status, not tee's: run it into a
+      # temp file (so `if ! cmd` sees the binary's status, not a
+      # pipeline's), then mirror the output to the console and $OUT.
+      if "$b" > "$TMP" 2>&1; then
+        tee -a "$OUT" < "$TMP"
+      else
+        status=$?
+        tee -a "$OUT" < "$TMP"
+        echo "run_all.sh: FAILED: $name (exit $status)" | tee -a "$OUT" >&2
+        FAILED+=("$name")
+      fi
+    fi
+  done
+  echo "wrote $OUT"
+fi
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "run_all.sh: ${#FAILED[@]} benchmark(s) failed: ${FAILED[*]}" >&2
+  exit 1
+fi

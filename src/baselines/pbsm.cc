@@ -119,6 +119,7 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.collect_results = options.collect_results;
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
+  engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
 
   Result<exec::JoinRun> run_result = exec::TryRunPartitionedJoin(

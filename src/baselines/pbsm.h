@@ -48,6 +48,10 @@ struct PbsmOptions {
   bool collect_results = false;
   bool carry_payloads = true;
   int physical_threads = 0;
+  /// Partition-level join kernel. The baselines share the engine's fast
+  /// SoA sweep by default, so algorithm comparisons measure replication
+  /// strategies rather than kernel implementations.
+  spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
   /// Data-space MBR; computed from the inputs when unset.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine

@@ -86,13 +86,26 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.collect_results = options.collect_results;
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
+  engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
 
+  // The R-tree default pins the indexed side to the globally larger set
+  // (Sedona's setup) via an explicit LocalJoinFn; any other selection goes
+  // through the engine's kernel dispatch (e.g. the SoA sweep fast path).
+  exec::LocalJoinFn local_join;
+  if (options.local_kernel == spatial::LocalJoinKernel::kRTree) {
+    local_join = exec::RTreeProbeLocalJoinIndexing(indexed);
+  }
   Result<exec::JoinRun> run_result =
       exec::TryRunPartitionedJoin(r, s, assign, owner, engine_options,
-                                  exec::RTreeProbeLocalJoinIndexing(indexed));
+                                  local_join);
   if (!run_result.ok()) return run_result.status();
   exec::JoinRun run = run_result.MoveValue();
+  if (local_join) {
+    // The engine saw an opaque LocalJoinFn; name the kernel it wrapped.
+    run.metrics.local_kernel =
+        spatial::LocalJoinKernelName(spatial::LocalJoinKernel::kRTree);
+  }
   run.metrics.algorithm = "Sedona";
   run.metrics.construction_seconds += driver_seconds;
   return run;

@@ -42,6 +42,11 @@ struct SedonaOptions {
   bool collect_results = false;
   bool carry_payloads = true;
   int physical_threads = 0;
+  /// Partition-level join kernel. Defaults to the R-tree probe — Sedona's
+  /// own per-partition strategy (index the globally larger set, probe with
+  /// the other) — for baseline fidelity; select kSweepSoA to give this
+  /// baseline the engine's fast kernel too.
+  spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kRTree;
   /// Data-space MBR; computed from the inputs when unset.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine

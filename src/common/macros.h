@@ -27,6 +27,17 @@
 #define PASJOIN_DCHECK(cond) PASJOIN_CHECK(cond)
 #endif
 
+/// Non-aliasing pointer qualifier for hot-loop array parameters (the SoA
+/// join kernels); expands to nothing on compilers without a restrict
+/// extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define PASJOIN_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define PASJOIN_RESTRICT __restrict
+#else
+#define PASJOIN_RESTRICT
+#endif
+
 /// Disallow copy construction/assignment for a class.
 #define PASJOIN_DISALLOW_COPY(TypeName)  \
   TypeName(const TypeName&) = delete;    \

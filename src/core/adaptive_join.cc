@@ -86,6 +86,7 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.deduplicate = !options.duplicate_free;
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
+  engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
 
   Result<exec::JoinRun> run_result = exec::TryRunPartitionedJoin(

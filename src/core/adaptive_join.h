@@ -52,6 +52,9 @@ struct AdaptiveJoinOptions {
   bool carry_payloads = true;
   /// Physical host threads (0 = auto).
   int physical_threads = 0;
+  /// Partition-level join kernel (docs/ALGORITHM.md §"Local join kernels");
+  /// the default is the cache-friendly SoA sweep.
+  spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
   /// Data-space MBR; when unset (zero area) it is computed from the inputs.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine

@@ -87,6 +87,7 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   engine_options.carry_payloads = options.carry_payloads;
   engine_options.physical_threads = options.physical_threads;
   engine_options.self_join = true;
+  engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
 
   Result<exec::JoinRun> run_result =

@@ -27,6 +27,8 @@ struct SelfJoinOptions {
   bool collect_results = false;
   bool carry_payloads = true;
   int physical_threads = 0;
+  /// Partition-level join kernel (default: the SoA sweep fast path).
+  spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
   /// Data-space MBR; computed from the input when unset.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine

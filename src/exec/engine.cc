@@ -33,6 +33,7 @@
 #include "common/stopwatch.h"
 #include "exec/thread_pool.h"
 #include "spatial/rtree.h"
+#include "spatial/sweep_kernel.h"
 
 namespace pasjoin::exec {
 
@@ -278,16 +279,102 @@ Store RebuildWorkerStore(int w, const std::vector<MapTaskOutput>& map_out,
 struct WorkerJoinOutput {
   std::vector<ResultPair> pairs;
   spatial::JoinCounters counters;
+  spatial::KernelTimings timings;
   uint64_t partitions = 0;
   uint64_t filtered = 0;
 };
+
+/// The resolved local-join strategy of one run: either the native SoA sweep
+/// fast path (no per-pair std::function anywhere) or a type-erased
+/// LocalJoinFn (custom kernels and the legacy selections).
+struct KernelDispatch {
+  bool use_soa = true;
+  LocalJoinFn fn;  // empty when use_soa
+  const char* name = "sweep-soa";
+};
+
+KernelDispatch ResolveKernel(const EngineOptions& options,
+                             const LocalJoinFn& custom) {
+  KernelDispatch d;
+  if (custom) {
+    d.use_soa = false;
+    d.fn = custom;
+    d.name = "custom";
+    return d;
+  }
+  switch (options.local_kernel) {
+    case spatial::LocalJoinKernel::kSweepSoA:
+      break;  // native fast path
+    case spatial::LocalJoinKernel::kPlaneSweep:
+      d.use_soa = false;
+      d.fn = PlaneSweepLocalJoin();
+      break;
+    case spatial::LocalJoinKernel::kNestedLoop:
+      d.use_soa = false;
+      d.fn = NestedLoopLocalJoin();
+      break;
+    case spatial::LocalJoinKernel::kRTree:
+      d.use_soa = false;
+      d.fn = RTreeProbeLocalJoin();
+      break;
+  }
+  d.name = spatial::LocalJoinKernelName(options.local_kernel);
+  return d;
+}
+
+/// SoA fast path of the join phase: per partition, gather each side into
+/// x-sorted struct-of-arrays buffers (two scratch instances reused across
+/// partitions) and run the forward sweep with batched emission straight
+/// into this worker's result vector. The self-join ordering filter runs as
+/// a batch pass over the partition's matches, not per pair.
+WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
+                                    bool keep_pairs) {
+  WorkerJoinOutput out;
+  const bool self_join = options.self_join;
+  spatial::SoaPartition soa_r;
+  spatial::SoaPartition soa_s;
+  std::vector<ResultPair> scratch;
+  for (auto& [part, buf] : *store) {
+    (void)part;
+    if (buf.r.empty() || buf.s.empty()) continue;
+    ++out.partitions;
+    soa_r.LoadSorted(buf.r, &out.timings);
+    soa_s.LoadSorted(buf.s, &out.timings);
+    if (self_join) {
+      // The sweep sees every ordered match; keep r.id < s.id (each
+      // unordered pair once) and count the rest so the phase total can be
+      // corrected, exactly like the generic path's emit wrapper.
+      scratch.clear();
+      out.counters +=
+          spatial::SoaSweepJoin(soa_r, soa_s, options.eps, &scratch,
+                                &out.timings);
+      Stopwatch filter_watch;
+      for (const ResultPair& p : scratch) {
+        if (p.r_id >= p.s_id) {
+          ++out.filtered;
+          continue;
+        }
+        if (keep_pairs) out.pairs.push_back(p);
+      }
+      out.timings.emit_seconds += filter_watch.ElapsedSeconds();
+    } else if (keep_pairs) {
+      out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
+                                            &out.pairs, &out.timings);
+    } else {
+      out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
+                                            nullptr, &out.timings);
+    }
+  }
+  return out;
+}
 
 /// Joins every non-empty partition of `store`. May reorder buffer contents
 /// (the local join owns them) but never changes the produced multiset, so
 /// re-execution after a partial attempt is safe.
 WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
-                                 const LocalJoinFn& local_join,
+                                 const KernelDispatch& kernel,
                                  bool keep_pairs) {
+  if (kernel.use_soa) return JoinWorkerStoreSoa(store, options, keep_pairs);
   WorkerJoinOutput out;
   std::vector<ResultPair>* pairs = keep_pairs ? &out.pairs : nullptr;
   uint64_t* filtered = &out.filtered;
@@ -307,7 +394,7 @@ WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
     (void)part;
     if (buf.r.empty() || buf.s.empty()) continue;
     ++out.partitions;
-    out.counters += local_join(&buf.r, &buf.s, options.eps, emit);
+    out.counters += kernel.fn(&buf.r, &buf.s, options.eps, emit);
   }
   return out;
 }
@@ -403,6 +490,7 @@ Status ValidateJoinInputs(const Dataset& r, const Dataset& s,
 JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
                     const OwnerFn& owner, const EngineOptions& options,
                     const LocalJoinFn& local_join) {
+  const KernelDispatch kernel = ResolveKernel(options, local_join);
   const int workers = options.workers;
   const int num_splits =
       options.num_splits > 0 ? options.num_splits : 4 * workers;
@@ -456,20 +544,28 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
       static_cast<size_t>(workers));
   std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
   std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
+  std::vector<spatial::KernelTimings> worker_timings(
+      static_cast<size_t>(workers));
   PhaseClock join_clock(workers);
   RunPhase(&pool, workers, &join_clock, [](int w) { return w; }, [&](int w) {
     WorkerJoinOutput out = JoinWorkerStore(&stores[static_cast<size_t>(w)],
-                                           options, local_join, keep_pairs);
+                                           options, kernel, keep_pairs);
     worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
     worker_counters[static_cast<size_t>(w)] = out.counters;
     worker_partitions[static_cast<size_t>(w)] = out.partitions;
     worker_filtered[static_cast<size_t>(w)] = out.filtered;
+    worker_timings[static_cast<size_t>(w)] = out.timings;
   });
+  m.local_kernel = kernel.name;
   for (int w = 0; w < workers; ++w) {
     m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
     m.results += worker_counters[static_cast<size_t>(w)].results -
                  worker_filtered[static_cast<size_t>(w)];
     m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
+    m.kernel_sort_seconds += worker_timings[static_cast<size_t>(w)].sort_seconds;
+    m.kernel_sweep_seconds +=
+        worker_timings[static_cast<size_t>(w)].sweep_seconds;
+    m.kernel_emit_seconds += worker_timings[static_cast<size_t>(w)].emit_seconds;
   }
   stores.clear();
 
@@ -773,6 +869,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                  const AssignFn& assign, const OwnerFn& owner,
                                  const EngineOptions& options,
                                  const LocalJoinFn& local_join) {
+  const KernelDispatch kernel = ResolveKernel(options, local_join);
   const int workers = options.workers;
   const int num_splits =
       options.num_splits > 0 ? options.num_splits : 4 * workers;
@@ -861,6 +958,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       static_cast<size_t>(workers));
   std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
   std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
+  std::vector<spatial::KernelTimings> worker_timings(
+      static_cast<size_t>(workers));
   PhaseClock join_clock(workers);
   {
     const TaskBody body = [&](int w) -> PublishFn {
@@ -878,13 +977,14 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
           rebuild_seconds += rebuild.ElapsedSeconds();
         }
         *out = JoinWorkerStore(&stores[static_cast<size_t>(w)], options,
-                               local_join, keep_pairs);
+                               kernel, keep_pairs);
       }
       return [&, w, out] {
         worker_pairs[static_cast<size_t>(w)] = std::move(out->pairs);
         worker_counters[static_cast<size_t>(w)] = out->counters;
         worker_partitions[static_cast<size_t>(w)] = out->partitions;
         worker_filtered[static_cast<size_t>(w)] = out->filtered;
+        worker_timings[static_cast<size_t>(w)] = out->timings;
       };
     };
     Status st = RunRecoveringPhase(&pool, Phase::kJoin, workers, workers,
@@ -892,11 +992,16 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                    &worker_lost, &stats, body);
     if (!st.ok()) return st;
   }
+  m.local_kernel = kernel.name;
   for (int w = 0; w < workers; ++w) {
     m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
     m.results += worker_counters[static_cast<size_t>(w)].results -
                  worker_filtered[static_cast<size_t>(w)];
     m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
+    m.kernel_sort_seconds += worker_timings[static_cast<size_t>(w)].sort_seconds;
+    m.kernel_sweep_seconds +=
+        worker_timings[static_cast<size_t>(w)].sweep_seconds;
+    m.kernel_emit_seconds += worker_timings[static_cast<size_t>(w)].emit_seconds;
   }
   map_out.clear();
   map_out.shrink_to_fit();

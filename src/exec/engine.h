@@ -55,11 +55,17 @@ using OwnerFn = std::function<int(PartitionId)>;
 
 /// Joins one partition's buffers; must call `emit(r, s)` per match and
 /// return the work counters. May reorder/modify the buffers.
+///
+/// This is the *generic* (type-erased) kernel interface: it pays an
+/// indirect call per result pair, so the engine only uses it for custom
+/// kernels and for the non-default LocalJoinKernel selections. The default
+/// sweep-SoA kernel (spatial/sweep_kernel.h) is executed natively with
+/// batched emission — no std::function runs in its inner loop.
 using LocalJoinFn = std::function<spatial::JoinCounters(
     std::vector<Tuple>* r, std::vector<Tuple>* s, double eps,
     const std::function<void(const Tuple&, const Tuple&)>& emit)>;
 
-/// Plane-sweep local join (the default refinement of Algorithm 5).
+/// Plane-sweep local join (the legacy refinement of Algorithm 5).
 LocalJoinFn PlaneSweepLocalJoin();
 
 /// Brute-force local join (oracle/testing).
@@ -94,6 +100,10 @@ struct EngineOptions {
   bool self_join = false;
   /// Physical threads to execute on; 0 selects the host's core count.
   int physical_threads = 0;
+  /// Partition-level join kernel (docs/ALGORITHM.md §"Local join kernels").
+  /// Ignored when the caller passes an explicit LocalJoinFn. The default is
+  /// the cache-friendly SoA sweep with batched emission.
+  spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
   /// Fault injection + recovery policy (docs/FAULT_TOLERANCE.md). Ignored
   /// unless fault.enabled; the default keeps the zero-overhead fast path.
   FaultOptions fault;
@@ -119,17 +129,22 @@ struct JoinRun {
 /// fault-free run. Returns kResourceExhausted when a task exhausts its retry
 /// budget and kInternal when a task of the fast path throws — this function
 /// never throws from the engine itself.
+///
+/// When `local_join` is empty (the default), the engine selects the kernel
+/// from `options.local_kernel`; a non-empty LocalJoinFn overrides the
+/// selection (the Sedona-like baseline uses this to pin the R-tree's
+/// indexed side).
 [[nodiscard]] Result<JoinRun> TryRunPartitionedJoin(
     const Dataset& r, const Dataset& s, const AssignFn& assign,
     const OwnerFn& owner, const EngineOptions& options,
-    const LocalJoinFn& local_join = PlaneSweepLocalJoin());
+    const LocalJoinFn& local_join = LocalJoinFn());
 
 /// Legacy convenience wrapper over TryRunPartitionedJoin: aborts the process
 /// (PASJOIN_CHECK) on any error. Prefer the Try variant in new code.
 JoinRun RunPartitionedJoin(const Dataset& r, const Dataset& s,
                            const AssignFn& assign, const OwnerFn& owner,
                            const EngineOptions& options,
-                           const LocalJoinFn& local_join = PlaneSweepLocalJoin());
+                           const LocalJoinFn& local_join = LocalJoinFn());
 
 }  // namespace pasjoin::exec
 

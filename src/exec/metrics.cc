@@ -19,6 +19,13 @@ std::string JobMetrics::ToString() const {
                 dedup_seconds, TotalSeconds(), wall_seconds, workers,
                 JoinImbalance());
   std::string out(buf);
+  if (!local_kernel.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  " kernel=%s[sort=%.3fs sweep=%.3fs emit=%.3fs]",
+                  local_kernel.c_str(), kernel_sort_seconds,
+                  kernel_sweep_seconds, kernel_emit_seconds);
+    out += buf;
+  }
   if (tasks_failed > 0 || tasks_retried > 0 || tasks_speculated > 0 ||
       recovery_seconds > 0.0) {
     std::snprintf(buf, sizeof(buf),

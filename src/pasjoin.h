@@ -56,5 +56,6 @@
 #include "spatial/local_join.h"           // IWYU pragma: export
 #include "spatial/quadtree.h"             // IWYU pragma: export
 #include "spatial/rtree.h"                // IWYU pragma: export
+#include "spatial/sweep_kernel.h"         // IWYU pragma: export
 
 #endif  // PASJOIN_PASJOIN_H_

@@ -3,6 +3,35 @@
 
 namespace pasjoin::spatial {
 
+const char* LocalJoinKernelName(LocalJoinKernel kernel) {
+  switch (kernel) {
+    case LocalJoinKernel::kSweepSoA:
+      return "sweep-soa";
+    case LocalJoinKernel::kPlaneSweep:
+      return "plane-sweep";
+    case LocalJoinKernel::kNestedLoop:
+      return "nested-loop";
+    case LocalJoinKernel::kRTree:
+      return "rtree";
+  }
+  return "unknown";
+}
+
+bool ParseLocalJoinKernel(const std::string& name, LocalJoinKernel* out) {
+  if (name == "sweep-soa") {
+    *out = LocalJoinKernel::kSweepSoA;
+  } else if (name == "plane-sweep") {
+    *out = LocalJoinKernel::kPlaneSweep;
+  } else if (name == "nested-loop") {
+    *out = LocalJoinKernel::kNestedLoop;
+  } else if (name == "rtree") {
+    *out = LocalJoinKernel::kRTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::vector<ResultPair> NestedLoopJoinPairs(const std::vector<Tuple>& r,
                                             const std::vector<Tuple>& s,
                                             double eps) {
@@ -13,10 +42,10 @@ std::vector<ResultPair> NestedLoopJoinPairs(const std::vector<Tuple>& r,
   return out;
 }
 
-std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple> r,
-                                            std::vector<Tuple> s, double eps) {
+std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple>* r,
+                                            std::vector<Tuple>* s, double eps) {
   std::vector<ResultPair> out;
-  PlaneSweepJoin(&r, &s, eps, [&out](const Tuple& a, const Tuple& b) {
+  PlaneSweepJoin(r, s, eps, [&out](const Tuple& a, const Tuple& b) {
     out.push_back(ResultPair{a.id, b.id});
   });
   return out;

@@ -12,11 +12,34 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/tuple.h"
 
 namespace pasjoin::spatial {
+
+/// Selects the partition-level join kernel the engine runs after the
+/// shuffle (plumbed through every driver; see docs/ALGORITHM.md §"Local
+/// join kernels").
+enum class LocalJoinKernel : uint8_t {
+  /// Struct-of-arrays forward sweep with batched emission
+  /// (spatial/sweep_kernel.h) — the default fast path.
+  kSweepSoA = 0,
+  /// The array-of-structs plane sweep below (legacy hot path).
+  kPlaneSweep,
+  /// Brute force; the oracle used by tests and the cost model.
+  kNestedLoop,
+  /// STR R-tree built on the larger side, probed with the smaller (the
+  /// Sedona-like baseline's strategy).
+  kRTree,
+};
+
+/// "sweep-soa", "plane-sweep", "nested-loop" or "rtree".
+const char* LocalJoinKernelName(LocalJoinKernel kernel);
+
+/// Inverse of LocalJoinKernelName; returns false on unknown names.
+bool ParseLocalJoinKernel(const std::string& name, LocalJoinKernel* out);
 
 /// Work counters of a local join.
 struct JoinCounters {
@@ -90,8 +113,10 @@ JoinCounters PlaneSweepJoin(std::vector<Tuple>* r, std::vector<Tuple>* s,
 std::vector<ResultPair> NestedLoopJoinPairs(const std::vector<Tuple>& r,
                                             const std::vector<Tuple>& s,
                                             double eps);
-std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple> r,
-                                            std::vector<Tuple> s, double eps);
+/// Sorts `*r` and `*s` in place, like PlaneSweepJoin (the buffers used to be
+/// taken by value, silently copying both partitions on every call).
+std::vector<ResultPair> PlaneSweepJoinPairs(std::vector<Tuple>* r,
+                                            std::vector<Tuple>* s, double eps);
 
 }  // namespace pasjoin::spatial
 

@@ -1,0 +1,133 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Cache-friendly partition-level eps-distance join kernel.
+//
+// The generic joins in local_join.h walk arrays-of-structs (56-byte Tuple
+// records with an embedded std::string payload) and report every match
+// through a per-pair callback; in the engine that callback is a type-erased
+// std::function, which costs an indirect call per result and keeps the
+// sweep's working set large. This kernel is the hot-path replacement
+// (Tsitsigkos et al., "Parallel In-Memory Evaluation of Spatial Joins",
+// motivate exactly this forward-sweep refinement step as the end-to-end
+// bottleneck in grid-partitioned joins):
+//
+//   * struct-of-arrays layout: each side becomes three parallel arrays
+//     (x, y, id) sorted by x once per partition (SoaPartition::LoadSorted:
+//     an index sort over 16-byte {x-bits, idx} keys — introsort for small
+//     partitions, LSD radix sort above ~32k — followed by a gather over
+//     dense scratch columns, so the payload strings are never moved);
+//   * sliding-window sweep: R is walked in x order with monotone [lo, hi)
+//     window pointers into S, so every candidate pair is inspected exactly
+//     once and the per-pivot counting loop has a fixed trip count — no
+//     data-dependent exits, no stores, no unpredictable branches — which
+//     lets the compiler vectorize it (with an AVX2 clone dispatched at
+//     load time on x86-64);
+//   * mask-sum filtering: |dy| <= eps and the exact distance predicate are
+//     evaluated branchlessly as vector mask sums; only pairs passing the
+//     y-filter count as candidates (hence SoA candidates <= plane-sweep
+//     candidates on the same input, which counts before the y-filter);
+//   * batched emission: match materialization is fully decoupled from
+//     counting — a window is rescanned only when its result count is
+//     non-zero, and matches are appended to a caller-owned result buffer
+//     in fixed-size batches, never through a per-pair callback. The
+//     templated Emit joins in local_join.h remain the oracle path for
+//     tests.
+//
+// Contract of the batched emission: the kernel only ever *appends* to the
+// caller's buffer (existing contents are preserved), pairs are written as
+// (r.id, s.id), and the multiset of appended pairs equals the nested-loop
+// oracle's output; the order is unspecified. Passing a null buffer runs the
+// kernel in count-only mode (no emission work at all).
+#ifndef PASJOIN_SPATIAL_SWEEP_KERNEL_H_
+#define PASJOIN_SPATIAL_SWEEP_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tuple.h"
+#include "spatial/local_join.h"
+
+namespace pasjoin::spatial {
+
+/// Per-phase timing breakdown of the SoA kernel, accumulable across
+/// partitions and workers (seconds of CPU time spent in each phase).
+struct KernelTimings {
+  /// Loading + x-sorting the SoA arrays (SoaPartition::LoadSorted).
+  double sort_seconds = 0.0;
+  /// The forward sweep itself (window advance, y-filter, distance checks).
+  double sweep_seconds = 0.0;
+  /// Flushing match batches into the caller-owned result buffer (and any
+  /// caller-side batch post-processing attributed by the engine, e.g. the
+  /// self-join ordering filter).
+  double emit_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return sort_seconds + sweep_seconds + emit_seconds;
+  }
+
+  KernelTimings& operator+=(const KernelTimings& o) {
+    sort_seconds += o.sort_seconds;
+    sweep_seconds += o.sweep_seconds;
+    emit_seconds += o.emit_seconds;
+    return *this;
+  }
+};
+
+/// One partition side in struct-of-arrays layout: parallel coordinate/id
+/// arrays sorted by x. Reusable across partitions (LoadSorted clears and
+/// refills without shrinking capacity), so a worker thread needs exactly
+/// one scratch instance per side.
+class SoaPartition {
+ public:
+  SoaPartition() = default;
+
+  /// Rebuilds the arrays from `tuples`, sorted ascending by x. Ties are
+  /// broken by the original index, making the layout deterministic. When
+  /// `timings` is non-null the elapsed time is added to sort_seconds.
+  void LoadSorted(const std::vector<Tuple>& tuples,
+                  KernelTimings* timings = nullptr);
+
+  size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
+  const std::vector<int64_t>& id() const { return id_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<int64_t> id_;
+  /// Scratch for the index sort ({order-preserving x bits, original index}
+  /// keys, plus the radix sort's ping-pong buffer and histogram) and the
+  /// dense pre-gather columns (see LoadSorted).
+  std::vector<std::pair<uint64_t, uint32_t>> order_;
+  std::vector<std::pair<uint64_t, uint32_t>> order_scratch_;
+  std::vector<uint32_t> histogram_;
+  std::vector<double> x_scratch_;
+  std::vector<double> y_scratch_;
+  std::vector<int64_t> id_scratch_;
+};
+
+/// Forward plane-sweep eps-distance join over two x-sorted SoA partitions.
+///
+/// Appends every matching (r.id, s.id) pair to `*out` in batches (see the
+/// file comment for the emission contract); `out == nullptr` counts
+/// matches without materializing them. Returns the work counters:
+/// `candidates` counts pairs that reached the exact distance check (i.e.
+/// survived both the x-window and the y-filter), `results` counts matches.
+/// When `timings` is non-null, sweep/emit times are accumulated into it.
+JoinCounters SoaSweepJoin(const SoaPartition& r, const SoaPartition& s,
+                          double eps, std::vector<ResultPair>* out,
+                          KernelTimings* timings = nullptr);
+
+/// Convenience wrapper: loads both sides and runs the sweep (the
+/// single-call form used by tests and benchmarks).
+JoinCounters SoaSweepJoinTuples(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s, double eps,
+                                std::vector<ResultPair>* out,
+                                KernelTimings* timings = nullptr);
+
+}  // namespace pasjoin::spatial
+
+#endif  // PASJOIN_SPATIAL_SWEEP_KERNEL_H_

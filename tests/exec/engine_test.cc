@@ -92,6 +92,56 @@ TEST(EngineTest, LocalJoinVariantsAgree) {
   EXPECT_EQ(nl, rtr);
 }
 
+TEST(EngineTest, KernelSelectionMatrixAgrees) {
+  // Every LocalJoinKernel selected through EngineOptions must produce the
+  // same result multiset and report its own name in the metrics.
+  const Dataset r = MakeDataset(RandomPoints(250, 13), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(250, 14), 1000, "S");
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  EngineOptions options = BaseOptions();
+  options.collect_results = true;
+  const AssignFn assign = BandAssign(options.eps, Side::kS);
+  const auto truth = BruteForcePairs(r, s, options.eps);
+  for (const spatial::LocalJoinKernel kernel :
+       {spatial::LocalJoinKernel::kSweepSoA,
+        spatial::LocalJoinKernel::kPlaneSweep,
+        spatial::LocalJoinKernel::kNestedLoop,
+        spatial::LocalJoinKernel::kRTree}) {
+    options.local_kernel = kernel;
+    JoinRun run = RunPartitionedJoin(r, s, assign, owner, options);
+    EXPECT_EQ(run.metrics.local_kernel, spatial::LocalJoinKernelName(kernel));
+    ASSERT_EQ(run.pairs.size(), truth.size())
+        << spatial::LocalJoinKernelName(kernel);
+    std::sort(run.pairs.begin(), run.pairs.end());
+    size_t i = 0;
+    for (const auto& [pair, count] : truth) {
+      (void)count;
+      EXPECT_EQ(run.pairs[i++], pair) << spatial::LocalJoinKernelName(kernel);
+    }
+    if (kernel == spatial::LocalJoinKernel::kSweepSoA) {
+      // Only the SoA kernel reports the per-phase breakdown.
+      EXPECT_GT(run.metrics.kernel_sort_seconds +
+                    run.metrics.kernel_sweep_seconds +
+                    run.metrics.kernel_emit_seconds,
+                0.0);
+    }
+  }
+}
+
+TEST(EngineTest, ExplicitLocalJoinOverridesKernelSelection) {
+  const Dataset r = MakeDataset(RandomPoints(120, 15), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(120, 16), 1000, "S");
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  EngineOptions options = BaseOptions();
+  options.local_kernel = spatial::LocalJoinKernel::kSweepSoA;
+  const AssignFn assign = BandAssign(options.eps, Side::kS);
+  const JoinRun dispatched = RunPartitionedJoin(r, s, assign, owner, options);
+  const JoinRun overridden = RunPartitionedJoin(r, s, assign, owner, options,
+                                                NestedLoopLocalJoin());
+  EXPECT_EQ(dispatched.metrics.results, overridden.metrics.results);
+  EXPECT_EQ(overridden.metrics.local_kernel, "custom");
+}
+
 TEST(EngineTest, ReplicationCountsOnlyExtraCopies) {
   // 10 R points at x = 5.5 +- 0.1: native partition 5, no replica (eps-ball
   // inside); 10 at x = 5.05: replicated into partition 4.

@@ -51,7 +51,10 @@ TEST(PlaneSweepJoinTest, MatchesNestedLoopOnRandomData) {
     const std::vector<Tuple> s = RandomTuples(170, seed + 100, 1000);
     const double eps = 0.3 + 0.1 * static_cast<double>(seed % 5);
     std::vector<ResultPair> expected = NestedLoopJoinPairs(r, s, eps);
-    std::vector<ResultPair> got = PlaneSweepJoinPairs(r, s, eps);
+    // PlaneSweepJoinPairs sorts in place; keep the (const) inputs pristine.
+    std::vector<Tuple> r_buf = r;
+    std::vector<Tuple> s_buf = s;
+    std::vector<ResultPair> got = PlaneSweepJoinPairs(&r_buf, &s_buf, eps);
     std::sort(expected.begin(), expected.end());
     std::sort(got.begin(), got.end());
     EXPECT_EQ(got, expected) << "seed " << seed;

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+# Copyright 2026 The pasjoin Authors.
+"""check_bench: validate and compare machine-readable benchmark reports.
+
+The bench harnesses (bench_micro_localjoin --json, bench/run_all.sh --json)
+emit schema-versioned BENCH_<name>.json reports (see bench/bench_json.h for
+the schema). This tool is the regression guard over those reports:
+
+  schema      The report parses, carries the expected schema_version, and
+              every record has the required fields with sane values.
+              Always checked.
+  counts      Candidate/result counters are exact and machine-independent,
+              so a fresh report's counters must EQUAL the baseline's for
+              every (kernel, points) record present in both. Checked when
+              --baseline is given.
+  times       median_seconds may drift within --tolerance (relative, e.g.
+              0.35 = +35%) of the baseline. Only meaningful on the machine
+              that produced the baseline; disable with --ignore-times when
+              comparing across hosts (CI compares counters + the speedup
+              ratio instead, which are machine-portable).
+  speedup     --require-speedup FAST:SLOW:RATIO asserts that kernel FAST's
+              median is at least RATIO times faster than kernel SLOW's at
+              the largest common point count *within the fresh report*
+              (self-relative, so it holds on any machine). Repeatable.
+
+Exit status: 0 when all checks pass, 1 on check failures, 2 on usage errors.
+
+Examples:
+  # Schema-only validation of a fresh report:
+  tools/check_bench.py BENCH_localjoin.json --schema-only
+
+  # CI regression guard: exact counters vs the committed baseline, plus the
+  # SoA-vs-plane-sweep speedup floor (times ignored: different machine):
+  tools/check_bench.py fresh.json --baseline BENCH_localjoin.json \\
+      --ignore-times --require-speedup sweep-soa:plane-sweep:2.0
+
+  # Same-machine perf tracking with a 35% tolerance band:
+  tools/check_bench.py fresh.json --baseline BENCH_localjoin.json \\
+      --tolerance 0.35
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+REQUIRED_TOP = {"schema_version", "benchmark", "workload", "reps", "records"}
+REQUIRED_RECORD = {
+    "kernel",
+    "points",
+    "eps",
+    "candidates",
+    "results",
+    "median_seconds",
+    "p95_seconds",
+}
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def load_report(path: str, errors: list[str]):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: cannot load report: {e}")
+        return None
+    return report
+
+
+def check_schema(path: str, report, errors: list[str]) -> bool:
+    """Returns True when the report is structurally usable."""
+    if not isinstance(report, dict):
+        fail(errors, f"{path}: top-level JSON value must be an object")
+        return False
+    missing = REQUIRED_TOP - report.keys()
+    if missing:
+        fail(errors, f"{path}: missing top-level fields: {sorted(missing)}")
+        return False
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(
+            errors,
+            f"{path}: schema_version {report['schema_version']} "
+            f"(expected {SCHEMA_VERSION})",
+        )
+        return False
+    if not isinstance(report["records"], list) or not report["records"]:
+        fail(errors, f"{path}: records must be a non-empty array")
+        return False
+    usable = True
+    for i, record in enumerate(report["records"]):
+        where = f"{path}: records[{i}]"
+        if not isinstance(record, dict):
+            fail(errors, f"{where}: must be an object")
+            usable = False
+            continue
+        missing = REQUIRED_RECORD - record.keys()
+        if missing:
+            fail(errors, f"{where}: missing fields: {sorted(missing)}")
+            usable = False
+            continue
+        if not record["kernel"] or not isinstance(record["kernel"], str):
+            fail(errors, f"{where}: kernel must be a non-empty string")
+            usable = False
+        for field in ("points", "candidates", "results"):
+            value = record[field]
+            if not isinstance(value, int) or value < 0:
+                fail(errors, f"{where}: {field} must be a non-negative integer")
+                usable = False
+        for field in ("eps", "median_seconds", "p95_seconds"):
+            value = record[field]
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(errors, f"{where}: {field} must be a non-negative number")
+                usable = False
+        if (
+            isinstance(record.get("results"), int)
+            and isinstance(record.get("candidates"), int)
+            and record["results"] > record["candidates"]
+            # The R-tree probe reports matches only, so results == candidates.
+            and record["kernel"] != "rtree"
+        ):
+            fail(errors, f"{where}: results exceed candidates")
+            usable = False
+    return usable
+
+
+def record_key(record) -> tuple:
+    return (record["kernel"], record["points"], record["eps"])
+
+
+def check_against_baseline(
+    fresh, baseline, tolerance: float, ignore_times: bool, errors: list[str]
+) -> None:
+    baseline_by_key = {record_key(r): r for r in baseline["records"]}
+    compared = 0
+    for record in fresh["records"]:
+        base = baseline_by_key.get(record_key(record))
+        if base is None:
+            continue
+        compared += 1
+        kernel, points, _ = record_key(record)
+        where = f"{kernel}@{points}"
+        for field in ("candidates", "results"):
+            if record[field] != base[field]:
+                fail(
+                    errors,
+                    f"{where}: {field} {record[field]} != baseline "
+                    f"{base[field]} (counters must match exactly)",
+                )
+        if not ignore_times and base["median_seconds"] > 0:
+            limit = base["median_seconds"] * (1.0 + tolerance)
+            if record["median_seconds"] > limit:
+                fail(
+                    errors,
+                    f"{where}: median {record['median_seconds']:.4f}s exceeds "
+                    f"baseline {base['median_seconds']:.4f}s "
+                    f"+{tolerance:.0%} tolerance ({limit:.4f}s)",
+                )
+    if compared == 0:
+        fail(errors, "no (kernel, points, eps) records in common with baseline")
+
+
+def usage_error(message: str) -> None:
+    print(f"check_bench: usage error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def check_speedup(fresh, spec: str, errors: list[str]) -> None:
+    parts = spec.split(":")
+    if len(parts) != 3:
+        usage_error(f"--require-speedup expects FAST:SLOW:RATIO, got {spec!r}")
+    fast_name, slow_name, ratio_text = parts
+    try:
+        ratio = float(ratio_text)
+    except ValueError:
+        usage_error(f"--require-speedup ratio is not a number: {ratio_text!r}")
+    fast = {r["points"]: r for r in fresh["records"] if r["kernel"] == fast_name}
+    slow = {r["points"]: r for r in fresh["records"] if r["kernel"] == slow_name}
+    common = sorted(set(fast) & set(slow))
+    if not common:
+        fail(
+            errors,
+            f"speedup {spec}: no common point count between kernels "
+            f"{fast_name!r} and {slow_name!r}",
+        )
+        return
+    points = common[-1]  # The largest shared workload.
+    fast_median = fast[points]["median_seconds"]
+    slow_median = slow[points]["median_seconds"]
+    if fast_median <= 0:
+        fail(errors, f"speedup {spec}: non-positive median for {fast_name}")
+        return
+    achieved = slow_median / fast_median
+    if achieved < ratio:
+        fail(
+            errors,
+            f"speedup {spec}: {fast_name} is only {achieved:.2f}x faster than "
+            f"{slow_name} at {points} points (required {ratio:.2f}x; "
+            f"{fast_median:.4f}s vs {slow_median:.4f}s)",
+        )
+    else:
+        print(
+            f"speedup ok: {fast_name} {achieved:.2f}x faster than {slow_name} "
+            f"at {points} points (required {ratio:.2f}x)"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("report", help="fresh BENCH_*.json report to validate")
+    parser.add_argument(
+        "--baseline", help="committed baseline report to compare against"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="relative median_seconds drift allowed vs baseline (default 0.35)",
+    )
+    parser.add_argument(
+        "--ignore-times",
+        action="store_true",
+        help="skip the median_seconds comparison (cross-machine runs)",
+    )
+    parser.add_argument(
+        "--schema-only",
+        action="store_true",
+        help="validate the report schema and nothing else",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        metavar="FAST:SLOW:RATIO",
+        help="assert kernel FAST is >= RATIO times faster than SLOW "
+        "within the fresh report (repeatable)",
+    )
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    fresh = load_report(args.report, errors)
+    usable = fresh is not None and check_schema(args.report, fresh, errors)
+
+    if usable and not args.schema_only:
+        if args.baseline:
+            baseline = load_report(args.baseline, errors)
+            if baseline is not None and check_schema(
+                args.baseline, baseline, errors
+            ):
+                check_against_baseline(
+                    fresh, baseline, args.tolerance, args.ignore_times, errors
+                )
+        for spec in args.require_speedup:
+            check_speedup(fresh, spec, errors)
+
+    if errors:
+        for message in errors:
+            print(f"check_bench: FAIL: {message}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK ({args.report})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

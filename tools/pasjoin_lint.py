@@ -27,6 +27,13 @@ suppression mechanism):
                          randomness flows through the deterministic Rng).
   nodiscard-status       Function declarations in headers returning Status or
                          Result<T> carry [[nodiscard]].
+  no-function-hotpath    std::function (and <functional>) must not appear in
+                         src/spatial headers. The per-partition join kernels
+                         are the hot path; a type-erased callback there costs
+                         an indirect call per candidate pair (the regression
+                         the SoA sweep kernel removed — see sweep_kernel.h).
+                         Callbacks in spatial headers are template parameters
+                         (zero-cost, inlinable) or batched result buffers.
 
 Suppression: append  // pasjoin-lint: allow(<rule>)  to the offending line.
 
@@ -68,6 +75,8 @@ RNG_TOKEN_RE = re.compile(
     r"\b(?:s?rand\s*\(|std::random_device|std::mt19937(?:_64)?|"
     r"std::minstd_rand0?|std::default_random_engine|drand48\s*\()")
 RANDOM_HEADER_RE = re.compile(r'^\s*#\s*include\s+<random>')
+STD_FUNCTION_TOKEN_RE = re.compile(r"\bstd::function\b")
+FUNCTIONAL_HEADER_RE = re.compile(r'^\s*#\s*include\s+<functional>')
 NODISCARD_DECL_RE = re.compile(
     r"^\s*(?:static\s+)?(?:Status|Result<[^;{}()]+>)\s+[A-Z]\w*\s*\(")
 
@@ -334,6 +343,15 @@ def main() -> int:
         message="nondeterministic/libc randomness is confined to "
                 "src/common/rng (use pasjoin::Rng)",
         extra_line_re=RANDOM_HEADER_RE)
+    violations += check_token_rule(
+        [h for h in headers
+         if h.relative_to(SRC).parts[0] == "spatial"],
+        "no-function-hotpath", STD_FUNCTION_TOKEN_RE,
+        allowed=lambda f: False,
+        message="std::function is banned in src/spatial headers (hot path): "
+                "take callbacks as template parameters or emit into batched "
+                "result buffers (see spatial/sweep_kernel.h)",
+        extra_line_re=FUNCTIONAL_HEADER_RE)
     violations += check_nodiscard(headers)
     if not args.skip_compile:
         violations += check_self_contained(headers, args.verbose)

@@ -66,14 +66,17 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   }
 
   Stopwatch driver;
+  obs::TraceRecorder* const trace = options.trace;
   Rect mbr = options.mbr;
   if (!(mbr.Area() > 0.0)) {
     mbr = r.Mbr().Union(s.Mbr());
   }
   const double factor =
       variant == PbsmVariant::kEpsGrid ? 1.0 : options.resolution_factor;
-  Result<grid::Grid> grid_result =
-      grid::Grid::MakeForBaseline(mbr, options.eps, factor);
+  Result<grid::Grid> grid_result = [&] {
+    obs::ScopedSpan span(trace, "driver-grid", "driver");
+    return grid::Grid::MakeForBaseline(mbr, options.eps, factor);
+  }();
   if (!grid_result.ok()) return grid_result.status();
   const grid::Grid grid = grid_result.MoveValue();
 
@@ -94,6 +97,8 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
 
   core::CellAssignment assignment = core::CellAssignment::Hash(options.workers);
   if (options.use_lpt) {
+    obs::ScopedSpan span(trace, "driver-placement", "driver");
+    span.SetStringArg("scheduler", "lpt");
     grid::GridStats stats(&grid);
     stats.AddSample(Side::kR, r, options.sample_rate, options.sample_seed);
     stats.AddSample(Side::kS, s, options.sample_rate, options.sample_seed + 1);
@@ -121,6 +126,8 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.physical_threads = options.physical_threads;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.bounds = mbr;
+  engine_options.trace = trace;
 
   Result<exec::JoinRun> run_result = exec::TryRunPartitionedJoin(
       r, s, assign, assignment.AsOwnerFn(), engine_options);
@@ -128,6 +135,10 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = PbsmVariantName(variant);
   run.metrics.construction_seconds += driver_seconds;
+  if (trace != nullptr) {
+    trace->counters().SetGauge("driver_seconds", driver_seconds);
+    exec::PublishMetricGauges(run.metrics, &trace->counters());
+  }
   return run;
 }
 

@@ -52,11 +52,16 @@ struct PbsmOptions {
   /// SoA sweep by default, so algorithm comparisons measure replication
   /// strategies rather than kernel implementations.
   spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
-  /// Data-space MBR; computed from the inputs when unset.
+  /// Data-space MBR; computed from the inputs when unset. An explicit MBR
+  /// also becomes the engine's declared bounds: points outside it are
+  /// rejected instead of silently clamped into edge cells.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// Execution trace sink (docs/OBSERVABILITY.md); null disables tracing at
+  /// zero cost. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Runs the PBSM eps-distance join.

@@ -21,6 +21,7 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
   }
 
   Stopwatch driver;
+  obs::TraceRecorder* const trace = options.trace;
   Rect mbr = options.mbr;
   if (!(mbr.Area() > 0.0)) {
     mbr = r.Mbr().Union(s.Mbr());
@@ -34,6 +35,7 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
 
   std::vector<Point> sample;
   {
+    obs::ScopedSpan span(trace, "driver-sample", "driver");
     Rng rng(options.sample_seed);
     sample.reserve(static_cast<size_t>(
         static_cast<double>(smaller.tuples.size()) * options.sample_rate) + 16);
@@ -50,7 +52,11 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
     quadtree.max_items_per_node = std::max<int>(
         1, static_cast<int>(sample.size()) / std::max(1, target));
   }
-  const spatial::QuadTreePartitioner partitioner(mbr, sample, quadtree);
+  const spatial::QuadTreePartitioner partitioner = [&] {
+    obs::ScopedSpan span(trace, "driver-quadtree", "driver");
+    span.AddArg("sample_points", static_cast<int64_t>(sample.size()));
+    return spatial::QuadTreePartitioner(mbr, sample, quadtree);
+  }();
   const double driver_seconds = driver.ElapsedSeconds();
 
   const double eps = options.eps;
@@ -88,6 +94,8 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.physical_threads = options.physical_threads;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.bounds = mbr;
+  engine_options.trace = trace;
 
   // The R-tree default pins the indexed side to the globally larger set
   // (Sedona's setup) via an explicit LocalJoinFn; any other selection goes
@@ -108,6 +116,10 @@ Result<exec::JoinRun> SedonaLikeDistanceJoin(const Dataset& r, const Dataset& s,
   }
   run.metrics.algorithm = "Sedona";
   run.metrics.construction_seconds += driver_seconds;
+  if (trace != nullptr) {
+    trace->counters().SetGauge("driver_seconds", driver_seconds);
+    exec::PublishMetricGauges(run.metrics, &trace->counters());
+  }
   return run;
 }
 

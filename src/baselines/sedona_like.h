@@ -47,11 +47,16 @@ struct SedonaOptions {
   /// the other) — for baseline fidelity; select kSweepSoA to give this
   /// baseline the engine's fast kernel too.
   spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kRTree;
-  /// Data-space MBR; computed from the inputs when unset.
+  /// Data-space MBR; computed from the inputs when unset. An explicit MBR
+  /// also becomes the engine's declared bounds: points outside it are
+  /// rejected instead of silently clamped into edge partitions.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// Execution trace sink (docs/OBSERVABILITY.md); null disables tracing at
+  /// zero cost. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Runs the Sedona-like eps-distance join.

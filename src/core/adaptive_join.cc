@@ -24,42 +24,58 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   }
 
   Stopwatch driver;
+  obs::TraceRecorder* const trace = options.trace;
 
   // --- grid over the data space --------------------------------------------
   Rect mbr = options.mbr;
   if (!(mbr.Area() > 0.0)) {
     mbr = r.Mbr().Union(s.Mbr());
   }
-  Result<grid::Grid> grid_result =
-      grid::Grid::Make(mbr, options.eps, options.resolution_factor);
+  Result<grid::Grid> grid_result = [&] {
+    obs::ScopedSpan span(trace, "driver-grid", "driver");
+    return grid::Grid::Make(mbr, options.eps, options.resolution_factor);
+  }();
   if (!grid_result.ok()) return grid_result.status();
   const grid::Grid grid = grid_result.MoveValue();
 
   // --- sampling + statistics (Algorithm 5, lines 4-5) ----------------------
   grid::GridStats stats(&grid);
-  stats.AddSample(Side::kR, r, options.sample_rate, options.sample_seed);
-  stats.AddSample(Side::kS, s, options.sample_rate, options.sample_seed + 1);
+  {
+    obs::ScopedSpan span(trace, "driver-sample", "driver");
+    stats.AddSample(Side::kR, r, options.sample_rate, options.sample_seed);
+    stats.AddSample(Side::kS, s, options.sample_rate, options.sample_seed + 1);
+    span.AddArg("sampled_r", static_cast<int64_t>(stats.SampleSize(Side::kR)));
+    span.AddArg("sampled_s", static_cast<int64_t>(stats.SampleSize(Side::kS)));
+  }
 
   // --- graph of agreements (Sections 4-5) ----------------------------------
   // Statistically undecidable pairs default to replicating the globally
   // smaller relation.
   const agreements::AgreementType tie_break = agreements::AgreementFor(
       r.tuples.size() <= s.tuples.size() ? Side::kR : Side::kS);
-  agreements::AgreementGraph graph =
-      agreements::AgreementGraph::Build(grid, stats, options.policy, tie_break);
-  if (options.duplicate_free) {
-    graph.RunDuplicateFreeMarking();
-  }
+  agreements::AgreementGraph graph = [&] {
+    obs::ScopedSpan span(trace, "driver-agreement-graph", "driver");
+    agreements::AgreementGraph g = agreements::AgreementGraph::Build(
+        grid, stats, options.policy, tie_break);
+    if (options.duplicate_free) {
+      g.RunDuplicateFreeMarking();
+    }
+    span.AddArg("marked", static_cast<int64_t>(g.CountMarked()));
+    span.AddArg("locked", static_cast<int64_t>(g.CountLocked()));
+    return g;
+  }();
 
   // --- cell placement (Section 6.2) -----------------------------------------
-  CellAssignment assignment = CellAssignment::Hash(options.workers);
-  if (options.use_lpt) {
+  CellAssignment assignment = [&] {
+    obs::ScopedSpan span(trace, "driver-placement", "driver");
+    span.SetStringArg("scheduler", options.use_lpt ? "lpt" : "hash");
+    if (!options.use_lpt) return CellAssignment::Hash(options.workers);
     std::vector<double> costs(static_cast<size_t>(grid.num_cells()), 0.0);
     for (grid::CellId c = 0; c < grid.num_cells(); ++c) {
       costs[static_cast<size_t>(c)] = stats.EstimatedCellCost(c);
     }
-    assignment = CellAssignment::Lpt(costs, options.workers);
-  }
+    return CellAssignment::Lpt(costs, options.workers);
+  }();
 
   if (artifacts != nullptr) {
     artifacts->grid_nx = grid.nx();
@@ -88,6 +104,10 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.physical_threads = options.physical_threads;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  // The grid partitions exactly `mbr`; declaring it as the engine's bounds
+  // turns silently-clamped out-of-space points into a kInvalidArgument.
+  engine_options.bounds = mbr;
+  engine_options.trace = trace;
 
   Result<exec::JoinRun> run_result = exec::TryRunPartitionedJoin(
       r, s, assign, assignment.AsOwnerFn(), engine_options);
@@ -95,6 +115,12 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = agreements::PolicyName(options.policy);
   run.metrics.construction_seconds += driver_seconds;
+  if (trace != nullptr) {
+    // Re-publish the gauges: construction now includes the sequential
+    // driver time, which the engine could not see.
+    trace->counters().SetGauge("driver_seconds", driver_seconds);
+    exec::PublishMetricGauges(run.metrics, &trace->counters());
+  }
   return run;
 }
 

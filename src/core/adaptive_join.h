@@ -56,10 +56,18 @@ struct AdaptiveJoinOptions {
   /// the default is the cache-friendly SoA sweep.
   spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
   /// Data-space MBR; when unset (zero area) it is computed from the inputs.
+  /// An explicit MBR also becomes the engine's declared bounds: inputs with
+  /// points outside it are rejected with kInvalidArgument instead of being
+  /// silently clamped into edge cells by the grid.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// Execution trace sink (docs/OBSERVABILITY.md): adds driver spans for
+  /// the construction steps (grid, sampling, agreement graph, placement)
+  /// on top of the engine's phase/task/kernel spans. Null disables tracing
+  /// at zero cost. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Diagnostics of the construction phase, for experiments and debugging.

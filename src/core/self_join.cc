@@ -54,12 +54,16 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   }
 
   Stopwatch driver;
+  obs::TraceRecorder* const trace = options.trace;
   Rect mbr = options.mbr;
   if (!(mbr.Area() > 0.0)) {
     mbr = data.Mbr();
   }
-  Result<grid::Grid> grid_result =
-      grid::Grid::MakeForBaseline(mbr, options.eps, options.resolution_factor);
+  Result<grid::Grid> grid_result = [&] {
+    obs::ScopedSpan span(trace, "driver-grid", "driver");
+    return grid::Grid::MakeForBaseline(mbr, options.eps,
+                                       options.resolution_factor);
+  }();
   if (!grid_result.ok()) return grid_result.status();
   const grid::Grid grid = grid_result.MoveValue();
   const double driver_seconds = driver.ElapsedSeconds();
@@ -89,6 +93,8 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   engine_options.self_join = true;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.bounds = mbr;
+  engine_options.trace = trace;
 
   Result<exec::JoinRun> run_result =
       exec::TryRunPartitionedJoin(data, data, assign, owner, engine_options);
@@ -96,6 +102,10 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = "self-join";
   run.metrics.construction_seconds += driver_seconds;
+  if (trace != nullptr) {
+    trace->counters().SetGauge("driver_seconds", driver_seconds);
+    exec::PublishMetricGauges(run.metrics, &trace->counters());
+  }
   return run;
 }
 

@@ -29,11 +29,16 @@ struct SelfJoinOptions {
   int physical_threads = 0;
   /// Partition-level join kernel (default: the SoA sweep fast path).
   spatial::LocalJoinKernel local_kernel = spatial::LocalJoinKernel::kSweepSoA;
-  /// Data-space MBR; computed from the input when unset.
+  /// Data-space MBR; computed from the input when unset. An explicit MBR
+  /// also becomes the engine's declared bounds: points outside it are
+  /// rejected instead of silently clamped into edge cells.
   Rect mbr;
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// Execution trace sink (docs/OBSERVABILITY.md); null disables tracing at
+  /// zero cost. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Computes { (a, b) : a.id < b.id, d(a, b) <= eps } over `data`.

@@ -32,6 +32,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "exec/thread_pool.h"
+#include "obs/counters.h"
 #include "spatial/rtree.h"
 #include "spatial/sweep_kernel.h"
 
@@ -71,15 +72,27 @@ class PhaseClock {
 
 /// Runs `task(index)` for every index in [0, count) on the pool, attributing
 /// each task's elapsed time to `owner_of(index)` in `clock` (fast path: no
-/// retries, first exception propagates out of Wait()).
+/// retries, first exception propagates out of Wait()). When `trace` is set,
+/// the whole phase gets a `phase_name` span on the driver track and every
+/// task a `task_name` span on its owning worker's track, wrapping exactly
+/// the region the PhaseClock stopwatch measures.
 template <typename Task, typename OwnerOf>
 void RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
-              OwnerOf&& owner_of, Task&& task) {
+              OwnerOf&& owner_of, Task&& task,
+              obs::TraceRecorder* trace = nullptr,
+              const char* phase_name = "phase", const char* task_name = "task") {
+  obs::ScopedSpan phase_span(trace, phase_name, "phase");
+  phase_span.SetTrack(obs::kDriverTrack);
+  phase_span.AddArg("tasks", count);
   for (int i = 0; i < count; ++i) {
-    pool->Submit([i, clock, &owner_of, &task] {
+    pool->Submit([i, clock, trace, task_name, &owner_of, &task] {
+      const int w = owner_of(i);
+      obs::ScopedTrack track_scope(trace, w);
+      obs::ScopedSpan span(trace, task_name, "task");
+      span.AddArg("task", i);
       Stopwatch watch;
       task(i);
-      clock->Add(owner_of(i), watch.ElapsedSeconds());
+      clock->Add(w, watch.ElapsedSeconds());
     });
   }
   pool->Wait();
@@ -216,20 +229,47 @@ MapTaskOutput ComputeMapTask(int task, const Dataset& r, const Dataset& s,
   return out;
 }
 
-/// Folds one map task's counters into the job metrics.
+/// Folds the map phase's counters into the job's counter registry (called
+/// once per phase, never per tuple — docs/OBSERVABILITY.md).
 void AccumulateMapMetrics(const std::vector<MapTaskOutput>& map_out,
-                          int num_splits, JobMetrics* m) {
+                          int num_splits, obs::CounterRegistry* reg) {
+  uint64_t replicated_r = 0;
+  uint64_t replicated_s = 0;
+  uint64_t shuffled_tuples = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t remote_bytes = 0;
   for (size_t task = 0; task < map_out.size(); ++task) {
     const MapTaskOutput& out = map_out[task];
     if (task < static_cast<size_t>(num_splits)) {
-      m->replicated_r += out.replicated;
+      replicated_r += out.replicated;
     } else {
-      m->replicated_s += out.replicated;
+      replicated_s += out.replicated;
     }
-    m->shuffled_tuples += out.shuffled_tuples;
-    m->shuffle_bytes += out.shuffle_bytes;
-    m->shuffle_remote_bytes += out.remote_bytes;
+    shuffled_tuples += out.shuffled_tuples;
+    shuffle_bytes += out.shuffle_bytes;
+    remote_bytes += out.remote_bytes;
   }
+  reg->Add("replicated_r", replicated_r);
+  reg->Add("replicated_s", replicated_s);
+  reg->Add("shuffled_tuples", shuffled_tuples);
+  reg->Add("shuffle_bytes", shuffle_bytes);
+  reg->Add("shuffle_remote_bytes", remote_bytes);
+}
+
+/// Records one instant fault event with a single integer arg.
+void FaultInstant(obs::TraceRecorder* trace, const char* name, int32_t track,
+                  const char* arg_name, int64_t arg_value) {
+  if (trace == nullptr) return;
+  obs::TraceEvent e;
+  e.name = name;
+  e.category = "fault";
+  e.type = 'i';
+  e.start_ns = trace->NowNs();
+  e.track = track;
+  e.arg_names[0] = arg_name;
+  e.arg_values[0] = arg_value;
+  e.num_args = 1;
+  trace->Append(e);
 }
 
 /// Regroup body of the fault-tolerant path: gathers worker `w`'s inbound
@@ -328,18 +368,22 @@ KernelDispatch ResolveKernel(const EngineOptions& options,
 /// into this worker's result vector. The self-join ordering filter runs as
 /// a batch pass over the partition's matches, not per pair.
 WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
-                                    bool keep_pairs) {
+                                    bool keep_pairs,
+                                    obs::TraceRecorder* trace) {
   WorkerJoinOutput out;
   const bool self_join = options.self_join;
   spatial::SoaPartition soa_r;
   spatial::SoaPartition soa_s;
   std::vector<ResultPair> scratch;
   for (auto& [part, buf] : *store) {
-    (void)part;
     if (buf.r.empty() || buf.s.empty()) continue;
     ++out.partitions;
-    soa_r.LoadSorted(buf.r, &out.timings);
-    soa_s.LoadSorted(buf.s, &out.timings);
+    obs::ScopedSpan span(trace, "join-partition", "engine");
+    span.SetStringArg("kernel", "sweep-soa");
+    span.AddArg("cell", part);
+    const spatial::JoinCounters before = out.counters;
+    soa_r.LoadSorted(buf.r, &out.timings, trace);
+    soa_s.LoadSorted(buf.s, &out.timings, trace);
     if (self_join) {
       // The sweep sees every ordered match; keep r.id < s.id (each
       // unordered pair once) and count the rest so the phase total can be
@@ -347,7 +391,7 @@ WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
       scratch.clear();
       out.counters +=
           spatial::SoaSweepJoin(soa_r, soa_s, options.eps, &scratch,
-                                &out.timings);
+                                &out.timings, trace);
       Stopwatch filter_watch;
       for (const ResultPair& p : scratch) {
         if (p.r_id >= p.s_id) {
@@ -359,11 +403,15 @@ WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
       out.timings.emit_seconds += filter_watch.ElapsedSeconds();
     } else if (keep_pairs) {
       out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            &out.pairs, &out.timings);
+                                            &out.pairs, &out.timings, trace);
     } else {
       out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            nullptr, &out.timings);
+                                            nullptr, &out.timings, trace);
     }
+    span.AddArg("candidates", static_cast<int64_t>(out.counters.candidates -
+                                                   before.candidates));
+    span.AddArg("results",
+                static_cast<int64_t>(out.counters.results - before.results));
   }
   return out;
 }
@@ -372,9 +420,11 @@ WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
 /// (the local join owns them) but never changes the produced multiset, so
 /// re-execution after a partial attempt is safe.
 WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
-                                 const KernelDispatch& kernel,
-                                 bool keep_pairs) {
-  if (kernel.use_soa) return JoinWorkerStoreSoa(store, options, keep_pairs);
+                                 const KernelDispatch& kernel, bool keep_pairs,
+                                 obs::TraceRecorder* trace) {
+  if (kernel.use_soa) {
+    return JoinWorkerStoreSoa(store, options, keep_pairs, trace);
+  }
   WorkerJoinOutput out;
   std::vector<ResultPair>* pairs = keep_pairs ? &out.pairs : nullptr;
   uint64_t* filtered = &out.filtered;
@@ -391,10 +441,17 @@ WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
         if (pairs != nullptr) pairs->push_back(ResultPair{a.id, b.id});
       };
   for (auto& [part, buf] : *store) {
-    (void)part;
     if (buf.r.empty() || buf.s.empty()) continue;
     ++out.partitions;
+    obs::ScopedSpan span(trace, "join-partition", "engine");
+    span.SetStringArg("kernel", kernel.name);
+    span.AddArg("cell", part);
+    const spatial::JoinCounters before = out.counters;
     out.counters += kernel.fn(&buf.r, &buf.s, options.eps, emit);
+    span.AddArg("candidates", static_cast<int64_t>(out.counters.candidates -
+                                                   before.candidates));
+    span.AddArg("results",
+                static_cast<int64_t>(out.counters.results - before.results));
   }
   return out;
 }
@@ -431,33 +488,52 @@ DedupMergeOutput MergeDedupBucket(
   return out;
 }
 
-/// Adds the dedup shuffle traffic (pair bytes crossing workers) to `m`.
+/// Adds the dedup shuffle traffic (pair bytes crossing workers) to `*reg`.
 void AccumulateDedupShuffle(
     const std::vector<std::vector<std::vector<ResultPair>>>& buckets,
-    int workers, JobMetrics* m) {
+    int workers, obs::CounterRegistry* reg) {
+  uint64_t total_bytes = 0;
   for (int src = 0; src < workers; ++src) {
     for (int dst = 0; dst < workers; ++dst) {
       if (src == dst) continue;
-      const uint64_t bytes =
+      total_bytes +=
           buckets[static_cast<size_t>(src)][static_cast<size_t>(dst)].size() *
           sizeof(ResultPair);
-      m->shuffle_bytes += bytes;
-      m->shuffle_remote_bytes += bytes;
     }
   }
+  reg->Add("shuffle_bytes", total_bytes);
+  reg->Add("shuffle_remote_bytes", total_bytes);
 }
 
 // ---------------------------------------------------------------------------
 // Input validation (kInvalidArgument instead of silently producing garbage).
 // ---------------------------------------------------------------------------
 
-Status ValidateDatasetCoordinates(const Dataset& d) {
+Status ValidateDatasetCoordinates(const Dataset& d, const Rect& bounds) {
+  // A positive-area bounds rect means the caller partitions the data space
+  // over exactly that rectangle. Points outside it used to be silently
+  // clamped into edge cells by Grid::Locate, so replication decisions ran
+  // against the wrong cell rectangle and near-boundary matches could be
+  // missed without any error; now the run is rejected up front, naming the
+  // first offender. Contains() is closed, so exact-boundary points stay
+  // valid (Grid::Locate keeps clamping max-edge coordinates into the last
+  // cell — the one clamp that is correct).
+  const bool check_bounds = bounds.Area() > 0.0;
   for (size_t i = 0; i < d.tuples.size(); ++i) {
     const Tuple& t = d.tuples[i];
     if (!std::isfinite(t.pt.x) || !std::isfinite(t.pt.y)) {
       return Status::InvalidArgument("non-finite coordinate in dataset '" +
                                      d.name + "' at index " +
                                      std::to_string(i));
+    }
+    if (check_bounds && !bounds.Contains(t.pt)) {
+      return Status::InvalidArgument(
+          "point outside declared bounds in dataset '" + d.name +
+          "' at index " + std::to_string(i) + ": (" + std::to_string(t.pt.x) +
+          ", " + std::to_string(t.pt.y) + ") not in [" +
+          std::to_string(bounds.min_x) + ", " + std::to_string(bounds.max_x) +
+          "] x [" + std::to_string(bounds.min_y) + ", " +
+          std::to_string(bounds.max_y) + "]");
     }
   }
   return Status::OK();
@@ -478,8 +554,10 @@ Status ValidateJoinInputs(const Dataset& r, const Dataset& s,
     return Status::InvalidArgument("physical_threads must be >= 0");
   }
   PASJOIN_RETURN_NOT_OK(options.fault.Validate(options.workers));
-  PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(r));
-  if (&r != &s) PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(s));
+  PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(r, options.bounds));
+  if (&r != &s) {
+    PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(s, options.bounds));
+  }
   return Status::OK();
 }
 
@@ -491,6 +569,15 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
                     const OwnerFn& owner, const EngineOptions& options,
                     const LocalJoinFn& local_join) {
   const KernelDispatch kernel = ResolveKernel(options, local_join);
+  obs::TraceRecorder* const trace = options.trace;
+  // The job's integer observables accumulate in a counter registry — the
+  // trace's own registry when tracing (making the exported trace
+  // self-describing), a throwaway one otherwise — and JobMetrics snapshots
+  // them out at the end. Folds happen at phase boundaries, never per tuple.
+  obs::CounterRegistry local_registry;
+  obs::CounterRegistry* const reg =
+      trace != nullptr ? &trace->counters() : &local_registry;
+  reg->Clear();
   const int workers = options.workers;
   const int num_splits =
       options.num_splits > 0 ? options.num_splits : 4 * workers;
@@ -513,8 +600,8 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   RunPhase(&pool, total_map_tasks, &map_clock, map_owner, [&](int task) {
     map_out[static_cast<size_t>(task)] =
         ComputeMapTask(task, r, s, assign, owner, options, num_splits, workers);
-  });
-  AccumulateMapMetrics(map_out, num_splits, &m);
+  }, trace, "phase-map", "map-task");
+  AccumulateMapMetrics(map_out, num_splits, reg);
 
   // ------------------------------------------------------------ regroup ---
   // Each worker gathers its inbound tuples into per-partition buffers; the
@@ -532,7 +619,7 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
       }
       out.by_worker[static_cast<size_t>(w)].clear();
     }
-  });
+  }, trace, "phase-regroup", "regroup-task");
   map_out.clear();
   map_out.shrink_to_fit();
 
@@ -549,23 +636,33 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   PhaseClock join_clock(workers);
   RunPhase(&pool, workers, &join_clock, [](int w) { return w; }, [&](int w) {
     WorkerJoinOutput out = JoinWorkerStore(&stores[static_cast<size_t>(w)],
-                                           options, kernel, keep_pairs);
+                                           options, kernel, keep_pairs, trace);
     worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
     worker_counters[static_cast<size_t>(w)] = out.counters;
     worker_partitions[static_cast<size_t>(w)] = out.partitions;
     worker_filtered[static_cast<size_t>(w)] = out.filtered;
     worker_timings[static_cast<size_t>(w)] = out.timings;
-  });
+  }, trace, "phase-join", "join-task");
   m.local_kernel = kernel.name;
-  for (int w = 0; w < workers; ++w) {
-    m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
-    m.results += worker_counters[static_cast<size_t>(w)].results -
+  {
+    uint64_t candidates = 0;
+    uint64_t results = 0;
+    uint64_t partitions = 0;
+    for (int w = 0; w < workers; ++w) {
+      candidates += worker_counters[static_cast<size_t>(w)].candidates;
+      results += worker_counters[static_cast<size_t>(w)].results -
                  worker_filtered[static_cast<size_t>(w)];
-    m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
-    m.kernel_sort_seconds += worker_timings[static_cast<size_t>(w)].sort_seconds;
-    m.kernel_sweep_seconds +=
-        worker_timings[static_cast<size_t>(w)].sweep_seconds;
-    m.kernel_emit_seconds += worker_timings[static_cast<size_t>(w)].emit_seconds;
+      partitions += worker_partitions[static_cast<size_t>(w)];
+      m.kernel_sort_seconds +=
+          worker_timings[static_cast<size_t>(w)].sort_seconds;
+      m.kernel_sweep_seconds +=
+          worker_timings[static_cast<size_t>(w)].sweep_seconds;
+      m.kernel_emit_seconds +=
+          worker_timings[static_cast<size_t>(w)].emit_seconds;
+    }
+    reg->Add("candidates", candidates);
+    reg->Add("results", results);
+    reg->Add("partitions_joined", partitions);
   }
   stores.clear();
 
@@ -582,9 +679,9 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
              [&](int w) {
                buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
                    worker_pairs[static_cast<size_t>(w)], workers);
-             });
+             }, trace, "phase-dedup-scatter", "dedup-scatter-task");
     // Pair bytes crossing workers count as shuffle traffic.
-    AccumulateDedupShuffle(buckets, workers, &m);
+    AccumulateDedupShuffle(buckets, workers, reg);
     std::vector<std::vector<ResultPair>> unique_pairs(
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
@@ -593,12 +690,13 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
           MergeDedupBucket(buckets, w, workers, options.collect_results);
       unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
       unique_counts[static_cast<size_t>(w)] = out.count;
-    });
+    }, trace, "phase-dedup-merge", "dedup-merge-task");
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
-    m.results = 0;
+    uint64_t unique_total = 0;
     for (int w = 0; w < workers; ++w) {
-      m.results += unique_counts[static_cast<size_t>(w)];
+      unique_total += unique_counts[static_cast<size_t>(w)];
     }
+    reg->Set("results", unique_total);
     if (options.collect_results) {
       for (auto& v : unique_pairs) {
         run.pairs.insert(run.pairs.end(), v.begin(), v.end());
@@ -613,7 +711,9 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
+  SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
+  if (trace != nullptr) PublishMetricGauges(m, reg);
   return run;
 }
 
@@ -652,11 +752,20 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
                           PhaseClock* clock,
                           const std::function<int(int)>& owner_of,
                           const FaultInjector& injector, bool* worker_lost,
-                          FaultStats* stats, const TaskBody& body) {
+                          FaultStats* stats, obs::TraceRecorder* trace,
+                          const char* phase_name, const char* task_name,
+                          const TaskBody& body) {
   if (count <= 0) return Status::OK();
+  obs::ScopedSpan phase_span(trace, phase_name, "phase");
+  phase_span.SetTrack(obs::kDriverTrack);
+  phase_span.AddArg("tasks", count);
   const FaultOptions& fo = injector.options();
   const bool lose_here = injector.LosesWorkerIn(phase);
-  if (lose_here) *worker_lost = true;
+  if (lose_here) {
+    *worker_lost = true;
+    FaultInstant(trace, "fault-worker-lost", obs::kDriverTrack, "worker",
+                 injector.lost_worker());
+  }
   const bool lost_active = *worker_lost;
   const int lost = injector.lost_worker();
   const int survivor =
@@ -704,6 +813,7 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
     running_total++;
     pool->Submit([&, task, attempt, backoff_seconds, is_retry] {
       if (backoff_seconds > 0.0) {
+        FaultInstant(trace, "fault-backoff", obs::kDriverTrack, "task", task);
         std::this_thread::sleep_for(
             std::chrono::duration<double>(backoff_seconds));
       }
@@ -725,6 +835,16 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
         }
         if (ts.started_at < 0.0) ts.started_at = phase_watch.ElapsedSeconds();
       }
+      // The attempt span wraps the same region as the attempt stopwatch and
+      // lands on the attributed worker's track; kernel spans opened inside
+      // `body` inherit the track. Failed and losing speculative attempts
+      // record committed=0, so the trace rollup can count only the attempts
+      // the PhaseClock counted.
+      const int attributed = attribution(task);
+      obs::ScopedTrack track_scope(trace, attributed);
+      obs::ScopedSpan attempt_span(trace, task_name, "task");
+      attempt_span.AddArg("task", task);
+      attempt_span.AddArg("attempt", attempt);
       Stopwatch attempt_watch;
       bool failed = false;
       std::string error;
@@ -742,6 +862,7 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
           std::unique_lock<std::mutex> lock(mu);
           if (states[static_cast<size_t>(task)].committed) {
             // A speculative backup finished while this straggler slept.
+            attempt_span.AddArg("committed", 0);
             lock.unlock();
             abandon();
             return;
@@ -768,8 +889,10 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
       }
       if (winner) {
         if (publish) publish();
-        clock->Add(attribution(task), attempt_watch.ElapsedSeconds());
+        clock->Add(attributed, attempt_watch.ElapsedSeconds());
       }
+      attempt_span.AddArg("committed", winner ? 1 : 0);
+      if (failed) FaultInstant(trace, "fault-failure", attributed, "task", task);
       {
         std::lock_guard<std::mutex> lock(mu);
         TaskState& ts = states[static_cast<size_t>(task)];
@@ -820,6 +943,7 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
         st.handled_failures = st.failures;
         st.started_at = -1.0;  // re-arm the speculation timer
         retried_local++;
+        FaultInstant(trace, "fault-retry", obs::kDriverTrack, "task", t);
         launch(t, st.attempts, backoff_seconds, /*is_retry=*/true);
       }
       if (aborted) break;
@@ -847,6 +971,8 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
             }
             st.speculated = true;
             speculated_local++;
+            FaultInstant(trace, "fault-speculate", obs::kDriverTrack, "task",
+                         t);
             launch(t, st.attempts, 0.0, /*is_retry=*/false);
           }
         }
@@ -870,6 +996,11 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                  const EngineOptions& options,
                                  const LocalJoinFn& local_join) {
   const KernelDispatch kernel = ResolveKernel(options, local_join);
+  obs::TraceRecorder* const trace = options.trace;
+  obs::CounterRegistry local_registry;
+  obs::CounterRegistry* const reg =
+      trace != nullptr ? &trace->counters() : &local_registry;
+  reg->Clear();
   const int workers = options.workers;
   const int num_splits =
       options.num_splits > 0 ? options.num_splits : 4 * workers;
@@ -910,10 +1041,10 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     Status st =
         RunRecoveringPhase(&pool, Phase::kMap, total_map_tasks, workers,
                            &map_clock, map_owner, injector, &worker_lost,
-                           &stats, body);
+                           &stats, trace, "phase-map", "map-task", body);
     if (!st.ok()) return st;
   }
-  AccumulateMapMetrics(map_out, num_splits, &m);
+  AccumulateMapMetrics(map_out, num_splits, reg);
 
   // ------------------------------------------------------------ regroup ---
   // The map outputs are the retained split data every re-execution recovers
@@ -938,7 +1069,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     };
     Status st = RunRecoveringPhase(&pool, Phase::kRegroup, workers, workers,
                                    &regroup_clock, identity, injector,
-                                   &worker_lost, &stats, body);
+                                   &worker_lost, &stats, trace,
+                                   "phase-regroup", "regroup-task", body);
     if (!st.ok()) return st;
   }
 
@@ -969,6 +1101,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
         // may reorder buffers) and guards lineage-based store rebuilds.
         std::lock_guard<std::mutex> lock(store_mu[static_cast<size_t>(w)]);
         if (store_valid[static_cast<size_t>(w)] == 0) {
+          obs::ScopedSpan rebuild_span(trace, "fault-rebuild", "fault");
+          rebuild_span.AddArg("worker", w);
           Stopwatch rebuild;
           stores[static_cast<size_t>(w)] = RebuildWorkerStore(
               w, map_out, lineages[static_cast<size_t>(w)]);
@@ -977,7 +1111,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
           rebuild_seconds += rebuild.ElapsedSeconds();
         }
         *out = JoinWorkerStore(&stores[static_cast<size_t>(w)], options,
-                               kernel, keep_pairs);
+                               kernel, keep_pairs, trace);
       }
       return [&, w, out] {
         worker_pairs[static_cast<size_t>(w)] = std::move(out->pairs);
@@ -989,19 +1123,30 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     };
     Status st = RunRecoveringPhase(&pool, Phase::kJoin, workers, workers,
                                    &join_clock, identity, injector,
-                                   &worker_lost, &stats, body);
+                                   &worker_lost, &stats, trace, "phase-join",
+                                   "join-task", body);
     if (!st.ok()) return st;
   }
   m.local_kernel = kernel.name;
-  for (int w = 0; w < workers; ++w) {
-    m.candidates += worker_counters[static_cast<size_t>(w)].candidates;
-    m.results += worker_counters[static_cast<size_t>(w)].results -
+  {
+    uint64_t candidates = 0;
+    uint64_t results = 0;
+    uint64_t partitions = 0;
+    for (int w = 0; w < workers; ++w) {
+      candidates += worker_counters[static_cast<size_t>(w)].candidates;
+      results += worker_counters[static_cast<size_t>(w)].results -
                  worker_filtered[static_cast<size_t>(w)];
-    m.partitions_joined += worker_partitions[static_cast<size_t>(w)];
-    m.kernel_sort_seconds += worker_timings[static_cast<size_t>(w)].sort_seconds;
-    m.kernel_sweep_seconds +=
-        worker_timings[static_cast<size_t>(w)].sweep_seconds;
-    m.kernel_emit_seconds += worker_timings[static_cast<size_t>(w)].emit_seconds;
+      partitions += worker_partitions[static_cast<size_t>(w)];
+      m.kernel_sort_seconds +=
+          worker_timings[static_cast<size_t>(w)].sort_seconds;
+      m.kernel_sweep_seconds +=
+          worker_timings[static_cast<size_t>(w)].sweep_seconds;
+      m.kernel_emit_seconds +=
+          worker_timings[static_cast<size_t>(w)].emit_seconds;
+    }
+    reg->Add("candidates", candidates);
+    reg->Add("results", results);
+    reg->Add("partitions_joined", partitions);
   }
   map_out.clear();
   map_out.shrink_to_fit();
@@ -1023,10 +1168,12 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       };
       Status st = RunRecoveringPhase(&pool, Phase::kDedupScatter, workers,
                                      workers, &scatter_clock, identity,
-                                     injector, &worker_lost, &stats, body);
+                                     injector, &worker_lost, &stats, trace,
+                                     "phase-dedup-scatter",
+                                     "dedup-scatter-task", body);
       if (!st.ok()) return st;
     }
-    AccumulateDedupShuffle(buckets, workers, &m);
+    AccumulateDedupShuffle(buckets, workers, reg);
     std::vector<std::vector<ResultPair>> unique_pairs(
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
@@ -1041,14 +1188,17 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       };
       Status st = RunRecoveringPhase(&pool, Phase::kDedupMerge, workers,
                                      workers, &dedup_clock, identity, injector,
-                                     &worker_lost, &stats, body);
+                                     &worker_lost, &stats, trace,
+                                     "phase-dedup-merge", "dedup-merge-task",
+                                     body);
       if (!st.ok()) return st;
     }
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
-    m.results = 0;
+    uint64_t unique_total = 0;
     for (int w = 0; w < workers; ++w) {
-      m.results += unique_counts[static_cast<size_t>(w)];
+      unique_total += unique_counts[static_cast<size_t>(w)];
     }
+    reg->Set("results", unique_total);
     if (options.collect_results) {
       for (auto& v : unique_pairs) {
         run.pairs.insert(run.pairs.end(), v.begin(), v.end());
@@ -1063,11 +1213,13 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
-  m.tasks_failed = stats.failed;
-  m.tasks_retried = stats.retried;
-  m.tasks_speculated = stats.speculated;
+  reg->Add("tasks_failed", stats.failed);
+  reg->Add("tasks_retried", stats.retried);
+  reg->Add("tasks_speculated", stats.speculated);
   m.recovery_seconds = stats.recovery_seconds + rebuild_seconds;
+  SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
+  if (trace != nullptr) PublishMetricGauges(m, reg);
   return run;
 }
 

@@ -36,6 +36,7 @@
 #include "common/tuple.h"
 #include "exec/fault_injector.h"
 #include "exec/metrics.h"
+#include "obs/trace_recorder.h"
 #include "spatial/local_join.h"
 
 namespace pasjoin::exec {
@@ -107,6 +108,21 @@ struct EngineOptions {
   /// Fault injection + recovery policy (docs/FAULT_TOLERANCE.md). Ignored
   /// unless fault.enabled; the default keeps the zero-overhead fast path.
   FaultOptions fault;
+  /// Declared data-space bounds. When set (positive area), every input
+  /// point must lie inside (boundary inclusive) or the run is rejected with
+  /// kInvalidArgument naming the offending dataset and index — partitioners
+  /// built over these bounds would otherwise silently clamp outside points
+  /// into edge cells and make replication decisions against the wrong cell
+  /// rectangle (the Grid::Locate footgun). A zero-area rect (the default)
+  /// skips the check. Exact-boundary points are valid: Grid::Locate keeps
+  /// clamping max-edge coordinates into the last cell.
+  Rect bounds;
+  /// Execution trace sink (docs/OBSERVABILITY.md). Null (the default)
+  /// disables tracing at zero cost; when set, the engine records per-task
+  /// spans on one track per logical worker, per-partition join spans, the
+  /// kernel's sort/sweep/emit phases, and fault-recovery events, and folds
+  /// the job's counters into trace->counters(). Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Outcome of a partitioned join run.

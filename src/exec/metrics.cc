@@ -2,40 +2,104 @@
 #include "exec/metrics.h"
 
 #include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
+#include <vector>
+
+#include "obs/counters.h"
 
 namespace pasjoin::exec {
 
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char stack_buf[256];
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<size_t>(needed));
+  } else {
+    // Rare: one field longer than the stack buffer. Grow exactly; nothing
+    // is ever silently truncated.
+    std::vector<char> heap_buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+    out->append(heap_buf.data(), static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+}
+
+}  // namespace
+
 std::string JobMetrics::ToString() const {
-  char buf[640];
-  std::snprintf(buf, sizeof(buf),
-                "%s: repl=%" PRIu64 " shuffled=%" PRIu64 " remoteMB=%.2f "
-                "cand=%" PRIu64 " res=%" PRIu64
-                " constr=%.3fs join=%.3fs dedup=%.3fs total=%.3fs wall=%.3fs "
-                "W=%d imbalance=%.2f",
-                algorithm.c_str(), ReplicatedTotal(), shuffled_tuples,
-                static_cast<double>(shuffle_remote_bytes) / (1024.0 * 1024.0),
-                candidates, results, construction_seconds, join_seconds,
-                dedup_seconds, TotalSeconds(), wall_seconds, workers,
-                JoinImbalance());
-  std::string out(buf);
+  // Built on string appends: every populated field always appears in the
+  // output, no matter how many counters later PRs add (the fixed 640-byte
+  // snprintf buffer this replaced truncated silently once the fault and
+  // kernel fields accumulated).
+  std::string out = algorithm;
+  AppendF(&out,
+          ": repl=%" PRIu64 " shuffled=%" PRIu64 " remoteMB=%.2f "
+          "cand=%" PRIu64 " res=%" PRIu64
+          " constr=%.3fs join=%.3fs dedup=%.3fs total=%.3fs wall=%.3fs "
+          "W=%d imbalance=%.2f",
+          ReplicatedTotal(), shuffled_tuples,
+          static_cast<double>(shuffle_remote_bytes) / (1024.0 * 1024.0),
+          candidates, results, construction_seconds, join_seconds,
+          dedup_seconds, TotalSeconds(), wall_seconds, workers,
+          JoinImbalance());
   if (!local_kernel.empty()) {
-    std::snprintf(buf, sizeof(buf),
-                  " kernel=%s[sort=%.3fs sweep=%.3fs emit=%.3fs]",
-                  local_kernel.c_str(), kernel_sort_seconds,
-                  kernel_sweep_seconds, kernel_emit_seconds);
-    out += buf;
+    AppendF(&out, " kernel=%s[sort=%.3fs sweep=%.3fs emit=%.3fs]",
+            local_kernel.c_str(), kernel_sort_seconds, kernel_sweep_seconds,
+            kernel_emit_seconds);
   }
   if (tasks_failed > 0 || tasks_retried > 0 || tasks_speculated > 0 ||
       recovery_seconds > 0.0) {
-    std::snprintf(buf, sizeof(buf),
-                  " failed=%" PRIu64 " retried=%" PRIu64 " spec=%" PRIu64
-                  " recovery=%.3fs",
-                  tasks_failed, tasks_retried, tasks_speculated,
-                  recovery_seconds);
-    out += buf;
+    AppendF(&out,
+            " failed=%" PRIu64 " retried=%" PRIu64 " spec=%" PRIu64
+            " recovery=%.3fs",
+            tasks_failed, tasks_retried, tasks_speculated, recovery_seconds);
   }
   return out;
+}
+
+void SnapshotCounters(const obs::CounterRegistry& registry,
+                      JobMetrics* metrics) {
+  metrics->replicated_r = registry.Get("replicated_r");
+  metrics->replicated_s = registry.Get("replicated_s");
+  metrics->shuffled_tuples = registry.Get("shuffled_tuples");
+  metrics->shuffle_bytes = registry.Get("shuffle_bytes");
+  metrics->shuffle_remote_bytes = registry.Get("shuffle_remote_bytes");
+  metrics->candidates = registry.Get("candidates");
+  metrics->results = registry.Get("results");
+  metrics->partitions_joined = registry.Get("partitions_joined");
+  metrics->tasks_failed = registry.Get("tasks_failed");
+  metrics->tasks_retried = registry.Get("tasks_retried");
+  metrics->tasks_speculated = registry.Get("tasks_speculated");
+}
+
+void PublishMetricGauges(const JobMetrics& metrics,
+                         obs::CounterRegistry* registry) {
+  registry->SetGauge("construction_seconds", metrics.construction_seconds);
+  registry->SetGauge("join_seconds", metrics.join_seconds);
+  registry->SetGauge("dedup_seconds", metrics.dedup_seconds);
+  registry->SetGauge("total_seconds", metrics.TotalSeconds());
+  registry->SetGauge("wall_seconds", metrics.wall_seconds);
+  registry->SetGauge("recovery_seconds", metrics.recovery_seconds);
+  registry->SetGauge("kernel_sort_seconds", metrics.kernel_sort_seconds);
+  registry->SetGauge("kernel_sweep_seconds", metrics.kernel_sweep_seconds);
+  registry->SetGauge("kernel_emit_seconds", metrics.kernel_emit_seconds);
+  registry->Set("workers", static_cast<uint64_t>(
+                               metrics.workers > 0 ? metrics.workers : 0));
 }
 
 }  // namespace pasjoin::exec

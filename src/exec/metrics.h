@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace pasjoin::obs {
+class CounterRegistry;
+}  // namespace pasjoin::obs
+
 namespace pasjoin::exec {
 
 /// Metrics of one join job.
@@ -100,9 +104,25 @@ struct JobMetrics {
     return mx / (sum / static_cast<double>(worker_busy_join.size()));
   }
 
-  /// One-line summary for logs.
+  /// One-line summary for logs. Built on string appends; every populated
+  /// field appears regardless of how many counters the struct grows.
   std::string ToString() const;
 };
+
+/// Fills the integer counter fields of `*metrics` from the canonical
+/// per-job counters registry (the engine folds its phase totals into the
+/// registry; JobMetrics snapshots them out — docs/OBSERVABILITY.md).
+/// Counter names are the JobMetrics field names ("replicated_r",
+/// "shuffle_bytes", "tasks_retried", ...). Never-touched counters read 0.
+void SnapshotCounters(const obs::CounterRegistry& registry,
+                      JobMetrics* metrics);
+
+/// Publishes the job's floating-point observables (phase seconds, kernel
+/// phase breakdown) into `*registry` as gauges, making an attached trace
+/// self-describing (tools/trace_summary.py --validate cross-checks span
+/// sums against these gauges).
+void PublishMetricGauges(const JobMetrics& metrics,
+                         obs::CounterRegistry* registry);
 
 }  // namespace pasjoin::exec
 

@@ -1,0 +1,66 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Named counter registry of the observability layer.
+//
+// A CounterRegistry is the canonical store of a job's integer observables
+// (replicas, shuffled bytes, candidates, fault-tolerance events, ...) and
+// floating-point gauges (phase makespans). The engine folds its per-phase
+// totals into a registry at phase boundaries — never per tuple, so the
+// registry is off the hot path — and exec::JobMetrics snapshots its integer
+// fields out of the registry at the end of the run
+// (exec::SnapshotCounters). When a TraceRecorder is attached, its embedded
+// registry is serialized into the trace file ("pasjoin_counters"), which is
+// what lets tools/trace_summary.py cross-check span sums against the
+// reported metrics.
+#ifndef PASJOIN_OBS_COUNTERS_H_
+#define PASJOIN_OBS_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pasjoin::obs {
+
+/// Thread-safe registry of named uint64 counters and double gauges.
+/// Intended call rate: phase boundaries, not inner loops.
+class CounterRegistry {
+ public:
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// Adds `delta` to counter `name` (created at zero on first use).
+  void Add(const std::string& name, uint64_t delta);
+
+  /// Sets counter `name` to `value`, replacing any previous value.
+  void Set(const std::string& name, uint64_t value);
+
+  /// Current value of counter `name` (0 when never touched).
+  uint64_t Get(const std::string& name) const;
+
+  /// Sets gauge `name` (a floating-point observable, e.g. a phase makespan
+  /// in seconds).
+  void SetGauge(const std::string& name, double value);
+
+  /// Current value of gauge `name` (0.0 when never set).
+  double GetGauge(const std::string& name) const;
+
+  /// Stable (sorted-by-name) snapshot of all counters.
+  std::map<std::string, uint64_t> SnapshotCounters() const;
+
+  /// Stable (sorted-by-name) snapshot of all gauges.
+  std::map<std::string, double> SnapshotGauges() const;
+
+  /// Removes every counter and gauge.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace pasjoin::obs
+
+#endif  // PASJOIN_OBS_COUNTERS_H_

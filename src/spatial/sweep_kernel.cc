@@ -33,7 +33,10 @@ constexpr size_t kRadixBuckets = size_t{1} << kRadixBits;
 }  // namespace
 
 void SoaPartition::LoadSorted(const std::vector<Tuple>& tuples,
-                              KernelTimings* timings) {
+                              KernelTimings* timings,
+                              obs::TraceRecorder* trace) {
+  obs::ScopedSpan span(trace, "kernel-sort", "kernel");
+  span.AddArg("points", static_cast<int64_t>(tuples.size()));
   Stopwatch watch;
   const size_t n = tuples.size();
   PASJOIN_DCHECK(n <= 0xffffffffu);
@@ -170,11 +173,12 @@ WindowCounts CountWindow(const double* PASJOIN_RESTRICT sx,
 template <bool kCollect>
 JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
                        double eps, std::vector<ResultPair>* out,
-                       KernelTimings* timings) {
+                       KernelTimings* timings, obs::TraceRecorder* trace) {
   JoinCounters counters;
   const size_t nr = r.size();
   const size_t ns = s.size();
   if (nr == 0 || ns == 0) return counters;
+  const int64_t trace_start_ns = trace != nullptr ? trace->NowNs() : 0;
 
   const double* PASJOIN_RESTRICT rx = r.x().data();
   const double* PASJOIN_RESTRICT ry = r.y().data();
@@ -243,10 +247,44 @@ JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
   counters.results = results;
   if (batched > 0) flush();
 
-  if (timings != nullptr) {
+  if (timings != nullptr || trace != nullptr) {
     const double total = sweep_watch.ElapsedSeconds();
-    timings->emit_seconds += emit_seconds;
-    timings->sweep_seconds += total - emit_seconds;
+    if (timings != nullptr) {
+      timings->emit_seconds += emit_seconds;
+      timings->sweep_seconds += total - emit_seconds;
+    }
+    if (trace != nullptr) {
+      // The batched emission is interleaved with the sweep, so the two
+      // phases are presented as sequential spans whose durations carry the
+      // measured attribution (together they cover the call exactly).
+      const int64_t total_ns = static_cast<int64_t>(total * 1e9);
+      const int64_t emit_ns = static_cast<int64_t>(emit_seconds * 1e9);
+      const int32_t track = obs::TraceRecorder::CurrentTrack();
+      obs::TraceEvent sweep_event;
+      sweep_event.name = "kernel-sweep";
+      sweep_event.category = "kernel";
+      sweep_event.start_ns = trace_start_ns;
+      sweep_event.duration_ns = total_ns - emit_ns;
+      sweep_event.track = track;
+      sweep_event.arg_names[0] = "candidates";
+      sweep_event.arg_values[0] = static_cast<int64_t>(counters.candidates);
+      sweep_event.arg_names[1] = "results";
+      sweep_event.arg_values[1] = static_cast<int64_t>(counters.results);
+      sweep_event.num_args = 2;
+      trace->Append(sweep_event);
+      if (emit_ns > 0) {
+        obs::TraceEvent emit_event;
+        emit_event.name = "kernel-emit";
+        emit_event.category = "kernel";
+        emit_event.start_ns = trace_start_ns + (total_ns - emit_ns);
+        emit_event.duration_ns = emit_ns;
+        emit_event.track = track;
+        emit_event.arg_names[0] = "pairs";
+        emit_event.arg_values[0] = static_cast<int64_t>(counters.results);
+        emit_event.num_args = 1;
+        trace->Append(emit_event);
+      }
+    }
   }
   return counters;
 }
@@ -255,22 +293,23 @@ JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
 
 JoinCounters SoaSweepJoin(const SoaPartition& r, const SoaPartition& s,
                           double eps, std::vector<ResultPair>* out,
-                          KernelTimings* timings) {
+                          KernelTimings* timings, obs::TraceRecorder* trace) {
   if (out != nullptr) {
-    return SweepImpl<true>(r, s, eps, out, timings);
+    return SweepImpl<true>(r, s, eps, out, timings, trace);
   }
-  return SweepImpl<false>(r, s, eps, nullptr, timings);
+  return SweepImpl<false>(r, s, eps, nullptr, timings, trace);
 }
 
 JoinCounters SoaSweepJoinTuples(const std::vector<Tuple>& r,
                                 const std::vector<Tuple>& s, double eps,
                                 std::vector<ResultPair>* out,
-                                KernelTimings* timings) {
+                                KernelTimings* timings,
+                                obs::TraceRecorder* trace) {
   SoaPartition soa_r;
   SoaPartition soa_s;
-  soa_r.LoadSorted(r, timings);
-  soa_s.LoadSorted(s, timings);
-  return SoaSweepJoin(soa_r, soa_s, eps, out, timings);
+  soa_r.LoadSorted(r, timings, trace);
+  soa_s.LoadSorted(s, timings, trace);
+  return SoaSweepJoin(soa_r, soa_s, eps, out, timings, trace);
 }
 
 }  // namespace pasjoin::spatial

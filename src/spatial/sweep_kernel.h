@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/tuple.h"
+#include "obs/trace_recorder.h"
 #include "spatial/local_join.h"
 
 namespace pasjoin::spatial {
@@ -83,9 +84,12 @@ class SoaPartition {
 
   /// Rebuilds the arrays from `tuples`, sorted ascending by x. Ties are
   /// broken by the original index, making the layout deterministic. When
-  /// `timings` is non-null the elapsed time is added to sort_seconds.
+  /// `timings` is non-null the elapsed time is added to sort_seconds; when
+  /// `trace` is non-null a "kernel-sort" span is recorded on the calling
+  /// thread's current track (null = zero cost, see obs/trace_recorder.h).
   void LoadSorted(const std::vector<Tuple>& tuples,
-                  KernelTimings* timings = nullptr);
+                  KernelTimings* timings = nullptr,
+                  obs::TraceRecorder* trace = nullptr);
 
   size_t size() const { return x_.size(); }
   bool empty() const { return x_.empty(); }
@@ -117,16 +121,23 @@ class SoaPartition {
 /// `candidates` counts pairs that reached the exact distance check (i.e.
 /// survived both the x-window and the y-filter), `results` counts matches.
 /// When `timings` is non-null, sweep/emit times are accumulated into it.
+/// When `trace` is non-null, "kernel-sweep" and "kernel-emit" spans are
+/// recorded on the calling thread's current track: the emit work is
+/// interleaved with the sweep in batches, so the two spans split the
+/// call's wall time by the measured per-phase attribution (they are exact
+/// in duration, sequential in presentation).
 JoinCounters SoaSweepJoin(const SoaPartition& r, const SoaPartition& s,
                           double eps, std::vector<ResultPair>* out,
-                          KernelTimings* timings = nullptr);
+                          KernelTimings* timings = nullptr,
+                          obs::TraceRecorder* trace = nullptr);
 
 /// Convenience wrapper: loads both sides and runs the sweep (the
 /// single-call form used by tests and benchmarks).
 JoinCounters SoaSweepJoinTuples(const std::vector<Tuple>& r,
                                 const std::vector<Tuple>& s, double eps,
                                 std::vector<ResultPair>* out,
-                                KernelTimings* timings = nullptr);
+                                KernelTimings* timings = nullptr,
+                                obs::TraceRecorder* trace = nullptr);
 
 }  // namespace pasjoin::spatial
 

@@ -1,0 +1,328 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Engine-level tests of the execution tracing layer (docs/OBSERVABILITY.md):
+// attaching a TraceRecorder must not change any result or counter, and the
+// recorded spans must reconcile with the reported JobMetrics.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "obs/trace_recorder.h"
+#include "test_util.h"
+
+namespace pasjoin::exec {
+namespace {
+
+using pasjoin::testing::BruteForcePairs;
+using pasjoin::testing::MakeDataset;
+
+/// 1-D band partitioner over [0, 10): partition = floor(x), replicated side
+/// copied into every neighbor partition its eps-ball touches.
+AssignFn BandAssign(double eps, Side replicated) {
+  return [eps, replicated](const Tuple& t, Side side) {
+    PartitionList out;
+    const int native = std::clamp(static_cast<int>(t.pt.x), 0, 9);
+    out.push_back(native);
+    if (side == replicated) {
+      const int lo = std::clamp(static_cast<int>(t.pt.x - eps), 0, 9);
+      const int hi = std::clamp(static_cast<int>(t.pt.x + eps), 0, 9);
+      for (int p = lo; p <= hi; ++p) {
+        if (p != native) out.push_back(p);
+      }
+    }
+    return out;
+  };
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextUniform(0, 10), rng.NextUniform(0, 1)});
+  }
+  return pts;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions options;
+  options.eps = 0.25;
+  options.workers = 4;
+  options.num_splits = 8;
+  options.physical_threads = 2;
+  options.collect_results = true;
+  return options;
+}
+
+void ExpectSameCounters(const JobMetrics& a, const JobMetrics& b) {
+  EXPECT_EQ(a.replicated_r, b.replicated_r);
+  EXPECT_EQ(a.replicated_s, b.replicated_s);
+  EXPECT_EQ(a.shuffled_tuples, b.shuffled_tuples);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.shuffle_remote_bytes, b.shuffle_remote_bytes);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.partitions_joined, b.partitions_joined);
+  EXPECT_EQ(a.workers, b.workers);
+  EXPECT_EQ(a.local_kernel, b.local_kernel);
+  EXPECT_EQ(a.tasks_failed, b.tasks_failed);
+  EXPECT_EQ(a.tasks_retried, b.tasks_retried);
+  EXPECT_EQ(a.tasks_speculated, b.tasks_speculated);
+}
+
+TEST(EngineTraceTest, TracedAndUntracedRunsProduceIdenticalResults) {
+  const Dataset r = MakeDataset(RandomPoints(400, 21), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 22), 1000, "S");
+  EngineOptions options = BaseOptions();
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+
+  JoinRun untraced = RunPartitionedJoin(r, s, assign, owner, options);
+
+  obs::TraceRecorder recorder;
+  options.trace = &recorder;
+  JoinRun traced = RunPartitionedJoin(r, s, assign, owner, options);
+
+  std::sort(untraced.pairs.begin(), untraced.pairs.end());
+  std::sort(traced.pairs.begin(), traced.pairs.end());
+  EXPECT_EQ(traced.pairs, untraced.pairs);
+  ExpectSameCounters(traced.metrics, untraced.metrics);
+
+  // The traced run actually recorded something, on clean shards.
+  EXPECT_GT(recorder.Snapshot().size(), 0u);
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+}
+
+TEST(EngineTraceTest, TraceCoversEveryPhaseWithWorkerAttribution) {
+  const Dataset r = MakeDataset(RandomPoints(300, 23), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 24), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.deduplicate = true;
+  obs::TraceRecorder recorder;
+  options.trace = &recorder;
+  const JoinRun run = RunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  (void)run;
+
+  std::map<std::string, size_t> count;
+  std::map<std::string, std::set<int32_t>> tracks;
+  for (const obs::TraceEvent& e : recorder.Snapshot()) {
+    ++count[e.name];
+    tracks[e.name].insert(e.track);
+  }
+  // One driver-track span per engine phase.
+  for (const char* phase :
+       {"phase-map", "phase-regroup", "phase-join", "phase-dedup-scatter",
+        "phase-dedup-merge"}) {
+    EXPECT_EQ(count[phase], 1u) << phase;
+    EXPECT_EQ(tracks[phase], std::set<int32_t>{obs::kDriverTrack}) << phase;
+  }
+  // Task spans land on logical-worker tracks, never the driver's.
+  for (const char* task : {"map-task", "regroup-task", "join-task",
+                           "dedup-scatter-task", "dedup-merge-task"}) {
+    EXPECT_GT(count[task], 0u) << task;
+    for (const int32_t track : tracks[task]) {
+      EXPECT_GE(track, 0) << task;
+      EXPECT_LT(track, options.workers) << task;
+    }
+  }
+  // The default kernel contributes sort/sweep spans below the join tasks.
+  EXPECT_GT(count["kernel-sort"], 0u);
+  EXPECT_GT(count["kernel-sweep"], 0u);
+}
+
+TEST(EngineTraceTest, JoinPartitionSpansReconcileWithCounters) {
+  const Dataset r = MakeDataset(RandomPoints(300, 25), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 26), 1000, "S");
+  EngineOptions options = BaseOptions();
+  obs::TraceRecorder recorder;
+  options.trace = &recorder;
+  const JoinRun run = RunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+
+  uint64_t span_candidates = 0;
+  uint64_t span_results = 0;
+  uint64_t partitions = 0;
+  for (const obs::TraceEvent& e : recorder.Snapshot()) {
+    if (std::string(e.name) != "join-partition") continue;
+    ++partitions;
+    for (int i = 0; i < e.num_args; ++i) {
+      const std::string arg = e.arg_names[i];
+      if (arg == "candidates") {
+        span_candidates += static_cast<uint64_t>(e.arg_values[i]);
+      } else if (arg == "results") {
+        span_results += static_cast<uint64_t>(e.arg_values[i]);
+      }
+    }
+  }
+  EXPECT_EQ(partitions, run.metrics.partitions_joined);
+  EXPECT_EQ(span_candidates, run.metrics.candidates);
+  EXPECT_EQ(span_results, run.metrics.results);
+
+  // The counters registry embedded in the trace mirrors the JobMetrics.
+  const obs::CounterRegistry& reg = recorder.counters();
+  EXPECT_EQ(reg.Get("candidates"), run.metrics.candidates);
+  EXPECT_EQ(reg.Get("results"), run.metrics.results);
+  EXPECT_EQ(reg.Get("partitions_joined"), run.metrics.partitions_joined);
+  EXPECT_EQ(reg.Get("shuffled_tuples"), run.metrics.shuffled_tuples);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("join_seconds"), run.metrics.join_seconds);
+}
+
+TEST(EngineTraceTest, ReusedRecorderReflectsTheLatestRunOnly) {
+  const Dataset r = MakeDataset(RandomPoints(200, 27), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(200, 28), 1000, "S");
+  EngineOptions options = BaseOptions();
+  obs::TraceRecorder recorder;
+  options.trace = &recorder;
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+
+  RunPartitionedJoin(r, s, assign, owner, options);
+  const JoinRun second = RunPartitionedJoin(r, s, assign, owner, options);
+  // Counters are Clear()ed at run start, not accumulated across runs.
+  EXPECT_EQ(recorder.counters().Get("candidates"), second.metrics.candidates);
+  EXPECT_EQ(recorder.counters().Get("results"), second.metrics.results);
+}
+
+TEST(EngineTraceTest, FaultTolerantTracedRunRecordsRecoveryEvents) {
+  const Dataset r = MakeDataset(RandomPoints(300, 29), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 30), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.fault.seed = 42;
+  options.fault.join_failure_p = 0.3;
+  options.fault.max_retries = 25;
+  options.fault.backoff_base_ms = 0.05;
+  const OwnerFn owner = [](PartitionId p) { return p % 4; };
+  const AssignFn assign = BandAssign(options.eps, Side::kR);
+
+  const JoinRun clean = RunPartitionedJoin(
+      r, s, assign, owner, [&options] {
+        EngineOptions o = options;
+        o.fault = FaultOptions{};
+        return o;
+      }());
+
+  obs::TraceRecorder recorder;
+  options.trace = &recorder;
+  const Result<JoinRun> traced =
+      TryRunPartitionedJoin(r, s, assign, owner, options);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_GT(traced.value().metrics.tasks_failed, 0u);
+
+  // Recovery must be invisible in the results...
+  std::vector<ResultPair> a = clean.pairs;
+  std::vector<ResultPair> b = traced.value().pairs;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  // ...but visible in the trace: failure instants, retry instants, and
+  // exactly one committed join-task attempt per task.
+  std::map<std::string, size_t> count;
+  std::map<int64_t, size_t> committed_by_task;
+  for (const obs::TraceEvent& e : recorder.Snapshot()) {
+    ++count[e.name];
+    if (std::string(e.name) != "join-task") continue;
+    int64_t task = -1;
+    int64_t committed = 1;
+    for (int i = 0; i < e.num_args; ++i) {
+      const std::string arg = e.arg_names[i];
+      if (arg == "task") task = e.arg_values[i];
+      if (arg == "committed") committed = e.arg_values[i];
+    }
+    if (committed != 0) ++committed_by_task[task];
+  }
+  EXPECT_EQ(count["fault-failure"], traced.value().metrics.tasks_failed);
+  EXPECT_EQ(count["fault-retry"], traced.value().metrics.tasks_retried);
+  EXPECT_GT(count["fault-backoff"], 0u);
+  // More attempts than tasks ran, but each task committed exactly once.
+  EXPECT_GT(count["join-task"], committed_by_task.size());
+  for (const auto& [task, commits] : committed_by_task) {
+    EXPECT_EQ(commits, 1u) << "task " << task;
+  }
+}
+
+// --- satellite regression: declared-bounds validation at engine ingress ----
+//
+// Grid::Locate clamps out-of-MBR coordinates into edge cells, so a point
+// outside the declared data space used to flow through partitioning
+// silently and join against the wrong neighborhood. EngineOptions::bounds
+// now rejects such inputs up front.
+
+TEST(EngineBoundsTest, OutOfBoundsPointIsRejectedWithDatasetAndIndex) {
+  std::vector<Point> r_pts = RandomPoints(20, 31);
+  r_pts[7] = Point{12.5, 0.5};  // outside [0,10) x [0,1)
+  const Dataset r = MakeDataset(r_pts, 0, "roads");
+  const Dataset s = MakeDataset(RandomPoints(20, 32), 1000, "parks");
+  EngineOptions options = BaseOptions();
+  options.bounds = Rect{0.0, 0.0, 10.0, 1.0};
+  const Result<JoinRun> run = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = run.status().ToString();
+  EXPECT_NE(message.find("roads"), std::string::npos) << message;
+  EXPECT_NE(message.find("index 7"), std::string::npos) << message;
+  EXPECT_NE(message.find("outside declared bounds"), std::string::npos)
+      << message;
+}
+
+TEST(EngineBoundsTest, SecondDatasetIsValidatedToo) {
+  const Dataset r = MakeDataset(RandomPoints(20, 33), 0, "roads");
+  std::vector<Point> s_pts = RandomPoints(20, 34);
+  s_pts[3] = Point{5.0, -2.0};
+  const Dataset s = MakeDataset(s_pts, 1000, "parks");
+  EngineOptions options = BaseOptions();
+  options.bounds = Rect{0.0, 0.0, 10.0, 1.0};
+  const Result<JoinRun> run = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = run.status().ToString();
+  EXPECT_NE(message.find("parks"), std::string::npos) << message;
+  EXPECT_NE(message.find("index 3"), std::string::npos) << message;
+}
+
+TEST(EngineBoundsTest, BoundaryPointsAreValid) {
+  // Closed containment: points exactly on the max edge stay valid (Locate
+  // deliberately folds them into the last cell).
+  std::vector<Point> r_pts = RandomPoints(20, 35);
+  r_pts[0] = Point{10.0, 1.0};  // the far corner
+  r_pts[1] = Point{0.0, 0.0};   // the near corner
+  const Dataset r = MakeDataset(r_pts, 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(20, 36), 1000, "S");
+  EngineOptions options = BaseOptions();
+  options.bounds = Rect{0.0, 0.0, 10.0, 1.0};
+  const Result<JoinRun> run = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+}
+
+TEST(EngineBoundsTest, ZeroAreaBoundsSkipTheCheck) {
+  // The default (empty) rect keeps legacy callers working: no declared
+  // bounds, no containment requirement.
+  std::vector<Point> r_pts = RandomPoints(20, 37);
+  r_pts[4] = Point{42.0, 17.0};
+  const Dataset r = MakeDataset(r_pts, 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(20, 38), 1000, "S");
+  const EngineOptions options = BaseOptions();
+  const Result<JoinRun> run = TryRunPartitionedJoin(
+      r, s, BandAssign(options.eps, Side::kR),
+      [](PartitionId p) { return p % 4; }, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

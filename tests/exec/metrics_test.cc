@@ -1,7 +1,11 @@
 // Copyright 2026 The pasjoin Authors.
 #include "exec/metrics.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "obs/counters.h"
 
 namespace pasjoin::exec {
 namespace {
@@ -61,6 +65,98 @@ TEST(JobMetricsTest, ToStringReportsFaultFieldsWhenSet) {
   EXPECT_NE(s.find("retried=2"), std::string::npos) << s;
   EXPECT_NE(s.find("spec=1"), std::string::npos) << s;
   EXPECT_NE(s.find("recovery=0.250s"), std::string::npos) << s;
+}
+
+TEST(JobMetricsTest, ToStringNeverTruncates) {
+  // Regression: ToString used a fixed 640-byte snprintf buffer, so once the
+  // kernel and fault fields accumulated the tail fields vanished silently.
+  // Populate EVERY field with distinctive values — including strings long
+  // enough to push the summary far past the old buffer — and require each
+  // one to survive into the output.
+  JobMetrics m;
+  m.algorithm = std::string(400, 'A') + "-LPiB";  // alone near the old limit
+  m.local_kernel = std::string(300, 'k') + "-sweep-soa";
+  m.replicated_r = 111;
+  m.replicated_s = 222;
+  m.shuffled_tuples = 333444;
+  m.shuffle_bytes = 555;
+  m.shuffle_remote_bytes = 7 * 1024 * 1024;  // renders as remoteMB=7.00
+  m.candidates = 666777;
+  m.results = 888999;
+  m.partitions_joined = 55;
+  m.workers = 16;
+  m.construction_seconds = 1.125;
+  m.join_seconds = 2.25;
+  m.dedup_seconds = 0.5;
+  m.wall_seconds = 9.875;
+  m.kernel_sort_seconds = 0.111;
+  m.kernel_sweep_seconds = 0.222;
+  m.kernel_emit_seconds = 0.333;
+  m.tasks_failed = 12;
+  m.tasks_retried = 34;
+  m.tasks_speculated = 56;
+  m.recovery_seconds = 0.75;
+  m.worker_busy_join = {1.0, 3.0};
+
+  const std::string s = m.ToString();
+  EXPECT_GT(s.size(), 640u);  // provably past the old truncation point
+  for (const char* token :
+       {"-LPiB", "repl=333", "shuffled=333444", "remoteMB=7.00",
+        "cand=666777", "res=888999", "constr=1.125s", "join=2.250s",
+        "dedup=0.500s", "total=3.875s", "wall=9.875s", "W=16",
+        "imbalance=1.50", "-sweep-soa[sort=0.111s sweep=0.222s emit=0.333s]",
+        "failed=12", "retried=34", "spec=56", "recovery=0.750s"}) {
+    EXPECT_NE(s.find(token), std::string::npos)
+        << "missing " << token << " in: " << s;
+  }
+}
+
+TEST(JobMetricsTest, SingleFieldLongerThanStackBufferSurvives) {
+  // The append helper's heap fallback: one field > 256 bytes on its own.
+  JobMetrics m;
+  m.algorithm = "X";
+  m.local_kernel = std::string(500, 'q');
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find(m.local_kernel), std::string::npos);
+  EXPECT_NE(s.find("emit=0.000s]"), std::string::npos);  // tail intact
+}
+
+TEST(CounterSnapshotTest, RegistryRoundTripsIntoJobMetrics) {
+  obs::CounterRegistry reg;
+  reg.Add("replicated_r", 10);
+  reg.Add("replicated_s", 20);
+  reg.Add("shuffled_tuples", 30);
+  reg.Add("shuffle_bytes", 40);
+  reg.Add("shuffle_remote_bytes", 50);
+  reg.Add("candidates", 60);
+  reg.Add("results", 70);
+  reg.Add("partitions_joined", 80);
+  reg.Add("tasks_failed", 1);
+  reg.Add("tasks_retried", 2);
+  reg.Add("tasks_speculated", 3);
+
+  JobMetrics m;
+  SnapshotCounters(reg, &m);
+  EXPECT_EQ(m.replicated_r, 10u);
+  EXPECT_EQ(m.replicated_s, 20u);
+  EXPECT_EQ(m.shuffled_tuples, 30u);
+  EXPECT_EQ(m.shuffle_bytes, 40u);
+  EXPECT_EQ(m.shuffle_remote_bytes, 50u);
+  EXPECT_EQ(m.candidates, 60u);
+  EXPECT_EQ(m.results, 70u);
+  EXPECT_EQ(m.partitions_joined, 80u);
+  EXPECT_EQ(m.tasks_failed, 1u);
+  EXPECT_EQ(m.tasks_retried, 2u);
+  EXPECT_EQ(m.tasks_speculated, 3u);
+
+  m.construction_seconds = 1.5;
+  m.join_seconds = 2.5;
+  m.workers = 8;
+  PublishMetricGauges(m, &reg);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("construction_seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("join_seconds"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("total_seconds"), 4.0);
+  EXPECT_EQ(reg.Get("workers"), 8u);
 }
 
 }  // namespace

@@ -14,8 +14,12 @@ the schema). This tool is the regression guard over those reports:
               every (kernel, points) record present in both. Checked when
               --baseline is given.
   times       median_seconds may drift within --tolerance (relative, e.g.
-              0.35 = +35%) of the baseline. Only meaningful on the machine
-              that produced the baseline; disable with --ignore-times when
+              0.35 = 35%) of the baseline, IN BOTH DIRECTIONS: a regression
+              (too slow) fails outright, and a large improvement (too fast)
+              fails with a hint to regenerate the baseline — a stale
+              baseline would otherwise mask later regressions up to the
+              accumulated speedup. Only meaningful on the machine that
+              produced the baseline; disable with --ignore-times when
               comparing across hosts (CI compares counters + the speedup
               ratio instead, which are machine-portable).
   speedup     --require-speedup FAST:SLOW:RATIO asserts that kernel FAST's
@@ -153,13 +157,27 @@ def check_against_baseline(
                     f"{base[field]} (counters must match exactly)",
                 )
         if not ignore_times and base["median_seconds"] > 0:
-            limit = base["median_seconds"] * (1.0 + tolerance)
-            if record["median_seconds"] > limit:
+            upper = base["median_seconds"] * (1.0 + tolerance)
+            lower = base["median_seconds"] * (1.0 - tolerance)
+            if record["median_seconds"] > upper:
                 fail(
                     errors,
                     f"{where}: median {record['median_seconds']:.4f}s exceeds "
                     f"baseline {base['median_seconds']:.4f}s "
-                    f"+{tolerance:.0%} tolerance ({limit:.4f}s)",
+                    f"+{tolerance:.0%} tolerance ({upper:.4f}s)",
+                )
+            elif lower > 0 and record["median_seconds"] < lower:
+                # The check used to be one-sided, so a kernel speedup left
+                # the committed baseline silently stale: every subsequent
+                # regression up to the accumulated improvement passed.
+                fail(
+                    errors,
+                    f"{where}: median {record['median_seconds']:.4f}s is more "
+                    f"than {tolerance:.0%} below baseline "
+                    f"{base['median_seconds']:.4f}s ({lower:.4f}s); the "
+                    f"baseline is stale — regenerate BENCH_localjoin.json "
+                    f"(bench_micro_localjoin --json) so future regressions "
+                    f"stay visible",
                 )
     if compared == 0:
         fail(errors, "no (kernel, points, eps) records in common with baseline")

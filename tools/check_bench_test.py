@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+# Copyright 2026 The pasjoin Authors.
+"""Unit tests for tools/check_bench.py (run by ctest as check_bench_test).
+
+The regression of record: the time-drift check was one-sided — a fresh
+median far BELOW the baseline passed silently, leaving a stale baseline
+that masked subsequent regressions up to the accumulated speedup. These
+tests pin both directions of the band, the exact-counter check, and the
+speedup floor.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", os.path.join(_HERE, "check_bench.py")
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def make_report(**overrides):
+    record = {
+        "kernel": "sweep-soa",
+        "points": 100000,
+        "eps": 0.001,
+        "candidates": 5000,
+        "results": 1200,
+        "median_seconds": 0.100,
+        "p95_seconds": 0.120,
+    }
+    record.update(overrides)
+    return {
+        "schema_version": check_bench.SCHEMA_VERSION,
+        "benchmark": "localjoin",
+        "workload": "uniform",
+        "reps": 5,
+        "records": [record],
+    }
+
+
+def compare(fresh, baseline, tolerance=0.35, ignore_times=False):
+    errors: list[str] = []
+    check_bench.check_against_baseline(
+        fresh, baseline, tolerance, ignore_times, errors
+    )
+    return errors
+
+
+class TimeDriftBothDirectionsTest(unittest.TestCase):
+    def test_within_band_passes(self):
+        base = make_report()
+        fresh = make_report(median_seconds=0.110)
+        self.assertEqual(compare(fresh, base), [])
+
+    def test_upward_drift_fails(self):
+        base = make_report()
+        fresh = make_report(median_seconds=0.150)  # +50% > 35% tolerance
+        errors = compare(fresh, base)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("exceeds", errors[0])
+
+    def test_downward_drift_fails_with_regenerate_hint(self):
+        # The previously-silent direction: a big speedup must flag the
+        # baseline as stale instead of passing.
+        base = make_report()
+        fresh = make_report(median_seconds=0.040)  # -60% < -35% tolerance
+        errors = compare(fresh, base)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("below baseline", errors[0])
+        self.assertIn("regenerate BENCH_localjoin.json", errors[0])
+
+    def test_band_edges_pass(self):
+        base = make_report()
+        for median in (0.065001, 0.134999):  # just inside +/-35%
+            fresh = make_report(median_seconds=median)
+            self.assertEqual(compare(fresh, base), [], msg=str(median))
+
+    def test_ignore_times_skips_both_directions(self):
+        base = make_report()
+        for median in (0.010, 1.000):
+            fresh = make_report(median_seconds=median)
+            self.assertEqual(
+                compare(fresh, base, ignore_times=True), [], msg=str(median)
+            )
+
+
+class CounterExactnessTest(unittest.TestCase):
+    def test_counter_mismatch_fails_even_with_times_ignored(self):
+        base = make_report()
+        fresh = make_report(candidates=5001)
+        errors = compare(fresh, base, ignore_times=True)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("counters must match exactly", errors[0])
+
+    def test_disjoint_reports_fail(self):
+        base = make_report()
+        fresh = make_report(kernel="plane-sweep")
+        errors = compare(fresh, base)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("no (kernel, points, eps) records", errors[0])
+
+
+class SchemaTest(unittest.TestCase):
+    def test_valid_report_passes_schema(self):
+        errors: list[str] = []
+        self.assertTrue(
+            check_bench.check_schema("r.json", make_report(), errors)
+        )
+        self.assertEqual(errors, [])
+
+    def test_missing_field_fails_schema(self):
+        report = make_report()
+        del report["records"][0]["median_seconds"]
+        errors: list[str] = []
+        self.assertFalse(check_bench.check_schema("r.json", report, errors))
+
+
+class SpeedupTest(unittest.TestCase):
+    def make_two_kernel_report(self, fast_median, slow_median):
+        report = make_report(median_seconds=fast_median)
+        slow = copy.deepcopy(report["records"][0])
+        slow["kernel"] = "plane-sweep"
+        slow["median_seconds"] = slow_median
+        report["records"].append(slow)
+        return report
+
+    def test_speedup_floor_holds(self):
+        report = self.make_two_kernel_report(0.05, 0.20)
+        errors: list[str] = []
+        check_bench.check_speedup(report, "sweep-soa:plane-sweep:2.0", errors)
+        self.assertEqual(errors, [])
+
+    def test_speedup_floor_violation_fails(self):
+        report = self.make_two_kernel_report(0.15, 0.20)
+        errors: list[str] = []
+        check_bench.check_speedup(report, "sweep-soa:plane-sweep:2.0", errors)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("only", errors[0])
+
+
+class EndToEndMainTest(unittest.TestCase):
+    def run_main(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["check_bench.py"] + argv
+        try:
+            return check_bench.main()
+        finally:
+            sys.argv = old_argv
+
+    def test_main_flags_downward_drift(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = os.path.join(tmp, "fresh.json")
+            base_path = os.path.join(tmp, "base.json")
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(make_report(median_seconds=0.040), f)
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump(make_report(), f)
+            self.assertEqual(
+                self.run_main([fresh_path, "--baseline", base_path]), 1
+            )
+            self.assertEqual(
+                self.run_main(
+                    [fresh_path, "--baseline", base_path, "--ignore-times"]
+                ),
+                0,
+            )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -12,9 +12,9 @@ suppression mechanism):
                          when no compiler is available.
   no-include-cycles      The #include graph of src/ headers is acyclic.
   layering               Includes respect the layer order documented in
-                         src/pasjoin.h: common < datagen < grid < spatial <
-                         agreements < exec < extent < core < baselines.
-                         Lower layers never include higher ones.
+                         src/pasjoin.h: common < obs < datagen < grid <
+                         spatial < agreements < exec < extent < core <
+                         baselines. Lower layers never include higher ones.
   no-naked-thread        std::thread / std::jthread / std::async /
                          pthread_create, and the blocking/timing primitives
                          of the retry machinery (std::this_thread::sleep_for
@@ -28,12 +28,15 @@ suppression mechanism):
   nodiscard-status       Function declarations in headers returning Status or
                          Result<T> carry [[nodiscard]].
   no-function-hotpath    std::function (and <functional>) must not appear in
-                         src/spatial headers. The per-partition join kernels
-                         are the hot path; a type-erased callback there costs
-                         an indirect call per candidate pair (the regression
-                         the SoA sweep kernel removed — see sweep_kernel.h).
-                         Callbacks in spatial headers are template parameters
-                         (zero-cost, inlinable) or batched result buffers.
+                         src/spatial or src/obs headers. The per-partition
+                         join kernels are the hot path; a type-erased callback
+                         there costs an indirect call per candidate pair (the
+                         regression the SoA sweep kernel removed — see
+                         sweep_kernel.h). The tracing layer is instrumented
+                         *into* that hot path, so its spans carry plain-data
+                         args only. Callbacks in these headers are template
+                         parameters (zero-cost, inlinable) or batched result
+                         buffers.
 
 Suppression: append  // pasjoin-lint: allow(<rule>)  to the offending line.
 
@@ -54,14 +57,15 @@ SRC = REPO_ROOT / "src"
 
 LAYERS = {
     "common": 0,
-    "datagen": 1,
-    "grid": 2,
-    "spatial": 3,
-    "agreements": 4,
-    "exec": 5,
-    "extent": 6,
-    "core": 7,
-    "baselines": 8,
+    "obs": 1,
+    "datagen": 2,
+    "grid": 3,
+    "spatial": 4,
+    "agreements": 5,
+    "exec": 6,
+    "extent": 7,
+    "core": 8,
+    "baselines": 9,
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -345,12 +349,13 @@ def main() -> int:
         extra_line_re=RANDOM_HEADER_RE)
     violations += check_token_rule(
         [h for h in headers
-         if h.relative_to(SRC).parts[0] == "spatial"],
+         if h.relative_to(SRC).parts[0] in ("spatial", "obs")],
         "no-function-hotpath", STD_FUNCTION_TOKEN_RE,
         allowed=lambda f: False,
-        message="std::function is banned in src/spatial headers (hot path): "
-                "take callbacks as template parameters or emit into batched "
-                "result buffers (see spatial/sweep_kernel.h)",
+        message="std::function is banned in src/spatial and src/obs headers "
+                "(hot path): take callbacks as template parameters or emit "
+                "into batched result buffers (see spatial/sweep_kernel.h); "
+                "trace spans carry plain-data args (see obs/trace_recorder.h)",
         extra_line_re=FUNCTIONAL_HEADER_RE)
     violations += check_nodiscard(headers)
     if not args.skip_compile:

@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+# Copyright 2026 The pasjoin Authors.
+"""trace_summary: per-phase/per-worker rollup of a pasjoin execution trace.
+
+The engine's TraceRecorder (src/obs/trace_recorder.h) exports Chrome
+trace-event JSON: one "thread" timeline per logical worker plus one for the
+driver, task spans named <phase>-task (map-task, regroup-task, join-task,
+dedup-scatter-task, dedup-merge-task), per-partition join-partition spans,
+kernel-sort/kernel-sweep/kernel-emit spans, fault-* events, and the job's
+counters/gauges under the top-level pasjoin_counters / pasjoin_gauges keys.
+
+This tool prints a human-readable rollup:
+
+  * per task-span name: task count, summed busy seconds, busiest worker,
+    and the makespan (max per-worker busy) — the quantity the engine's
+    simulated phase seconds are built from;
+  * per worker: busy seconds per phase;
+  * the job counters and gauges embedded in the trace;
+  * fault events, when any.
+
+With --validate it also cross-checks the trace against the metrics the job
+reported (exit 1 on violation):
+
+  * construction_seconds ~= driver_seconds gauge + map makespan + regroup
+    makespan, join_seconds ~= join makespan, dedup_seconds ~= scatter
+    makespan + merge makespan — each within --tolerance (default 5%,
+    plus a small absolute slack for sub-millisecond phases);
+  * kernel gauge sums (sort/sweep/emit) vs the kernel span sums, when the
+    run reported a kernel breakdown;
+  * the candidates counter vs the sum of join-partition span args (exact;
+    skipped when fault events are present, because losing attempts also
+    record partition spans);
+  * no dropped events.
+
+Only committed task spans (args.committed != 0; spans without the arg count
+as committed) enter the busy sums — failed and losing speculative attempts
+of the fault-tolerant path are excluded, mirroring the engine's PhaseClock.
+
+Usage:
+  tools/trace_summary.py trace.json
+  tools/trace_summary.py trace.json --validate [--tolerance 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+TASK_SPANS = (
+    "map-task",
+    "regroup-task",
+    "join-task",
+    "dedup-scatter-task",
+    "dedup-merge-task",
+)
+KERNEL_SPANS = ("kernel-sort", "kernel-sweep", "kernel-emit")
+
+
+def load_trace(path: str):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def is_committed(event) -> bool:
+    return event.get("args", {}).get("committed", 1) != 0
+
+
+class Rollup:
+    """Aggregates a trace's events into per-phase/per-worker sums."""
+
+    def __init__(self, trace):
+        self.track_names = {}  # tid -> thread_name
+        # name -> tid -> [count, busy_seconds]
+        self.spans = defaultdict(lambda: defaultdict(lambda: [0, 0.0]))
+        self.fault_events = []
+        self.join_partitions = 0
+        self.span_candidates = 0
+        events = trace.get("traceEvents", [])
+        if not isinstance(events, list):
+            raise ValueError("traceEvents must be an array")
+        for event in events:
+            ph = event.get("ph")
+            if ph == "M":
+                if event.get("name") == "thread_name":
+                    self.track_names[event.get("tid")] = event["args"]["name"]
+                continue
+            if event.get("cat") == "fault":
+                self.fault_events.append(event)
+                continue
+            if ph != "X":
+                continue
+            name = event.get("name", "?")
+            tid = event.get("tid", 0)
+            seconds = float(event.get("dur", 0.0)) / 1e6
+            if name in TASK_SPANS and not is_committed(event):
+                continue
+            cell = self.spans[name][tid]
+            cell[0] += 1
+            cell[1] += seconds
+            if name == "join-partition":
+                self.join_partitions += 1
+                self.span_candidates += event.get("args", {}).get(
+                    "candidates", 0
+                )
+
+    def track_name(self, tid) -> str:
+        return self.track_names.get(tid, f"tid {tid}")
+
+    def makespan(self, name: str) -> float:
+        per_track = self.spans.get(name, {})
+        return max((busy for _, busy in per_track.values()), default=0.0)
+
+    def total(self, name: str) -> float:
+        return sum(busy for _, busy in self.spans.get(name, {}).values())
+
+    def count(self, name: str) -> int:
+        return sum(count for count, _ in self.spans.get(name, {}).values())
+
+
+def print_rollup(rollup: Rollup, trace) -> None:
+    print("== per-phase task spans ==")
+    print(f"{'span':<20} {'tasks':>6} {'busy':>10} {'makespan':>10}  busiest")
+    for name in TASK_SPANS:
+        if name not in rollup.spans:
+            continue
+        per_track = rollup.spans[name]
+        busiest_tid, (_, busiest) = max(
+            per_track.items(), key=lambda kv: kv[1][1]
+        )
+        print(
+            f"{name:<20} {rollup.count(name):>6} {rollup.total(name):>9.4f}s "
+            f"{rollup.makespan(name):>9.4f}s  {rollup.track_name(busiest_tid)}"
+            f" ({busiest:.4f}s)"
+        )
+    other = sorted(
+        n
+        for n in rollup.spans
+        if n not in TASK_SPANS and n != "join-partition"
+    )
+    if other:
+        print("\n== other spans ==")
+        for name in other:
+            print(
+                f"{name:<20} {rollup.count(name):>6} "
+                f"{rollup.total(name):>9.4f}s"
+            )
+    if rollup.join_partitions:
+        print(
+            f"\njoin-partition spans: {rollup.join_partitions} "
+            f"(candidates arg sum: {rollup.span_candidates})"
+        )
+
+    print("\n== per-worker busy seconds ==")
+    tids = sorted(
+        {tid for spans in rollup.spans.values() for tid in spans}
+    )
+    for tid in tids:
+        parts = []
+        for name in TASK_SPANS:
+            busy = rollup.spans.get(name, {}).get(tid)
+            if busy is not None:
+                parts.append(f"{name}={busy[1]:.4f}s")
+        if parts:
+            print(f"{rollup.track_name(tid):<12} {' '.join(parts)}")
+
+    counters = trace.get("pasjoin_counters", {})
+    gauges = trace.get("pasjoin_gauges", {})
+    if counters:
+        print("\n== counters ==")
+        for key in sorted(counters):
+            print(f"{key:<24} {counters[key]}")
+    if gauges:
+        print("\n== gauges ==")
+        for key in sorted(gauges):
+            print(f"{key:<24} {gauges[key]:.6f}")
+    if rollup.fault_events:
+        print(f"\n== fault events ({len(rollup.fault_events)}) ==")
+        by_name = defaultdict(int)
+        for event in rollup.fault_events:
+            by_name[event.get("name", "?")] += 1
+        for name in sorted(by_name):
+            print(f"{name:<24} {by_name[name]}")
+    dropped = trace.get("pasjoin_dropped_events", 0)
+    if dropped:
+        print(f"\nWARNING: {dropped} events dropped (shard capacity)")
+
+
+def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
+    """Cross-checks span sums against the job's reported metrics."""
+    errors = []
+    gauges = trace.get("pasjoin_gauges", {})
+    counters = trace.get("pasjoin_counters", {})
+
+    def check(label, expected, actual):
+        if abs(actual - expected) > max(tolerance * expected, slack):
+            errors.append(
+                f"{label}: span-derived {actual:.4f}s vs reported "
+                f"{expected:.4f}s (tolerance {tolerance:.0%} + {slack}s)"
+            )
+
+    if "construction_seconds" in gauges:
+        derived = (
+            gauges.get("driver_seconds", 0.0)
+            + rollup.makespan("map-task")
+            + rollup.makespan("regroup-task")
+        )
+        check("construction_seconds", gauges["construction_seconds"], derived)
+    if "join_seconds" in gauges:
+        check("join_seconds", gauges["join_seconds"],
+              rollup.makespan("join-task"))
+    if "dedup_seconds" in gauges:
+        derived = rollup.makespan("dedup-scatter-task") + rollup.makespan(
+            "dedup-merge-task"
+        )
+        check("dedup_seconds", gauges["dedup_seconds"], derived)
+
+    # Kernel phase attribution: span sums vs the job's kernel gauges. The
+    # engine folds caller-side batch post-processing (the self-join filter)
+    # into emit_seconds, which has no kernel span, so emit is checked as a
+    # lower bound only.
+    if gauges.get("kernel_sort_seconds", 0.0) > 0.0:
+        check(
+            "kernel_sort_seconds",
+            gauges["kernel_sort_seconds"],
+            rollup.total("kernel-sort"),
+        )
+        check(
+            "kernel_sweep_seconds",
+            gauges["kernel_sweep_seconds"],
+            rollup.total("kernel-sweep"),
+        )
+        emit_spans = rollup.total("kernel-emit")
+        if emit_spans > gauges["kernel_emit_seconds"] + max(
+            tolerance * gauges["kernel_emit_seconds"], slack
+        ):
+            errors.append(
+                f"kernel_emit_seconds: span sum {emit_spans:.4f}s exceeds "
+                f"reported {gauges['kernel_emit_seconds']:.4f}s"
+            )
+
+    if (
+        not rollup.fault_events
+        and rollup.join_partitions
+        and "candidates" in counters
+    ):
+        if rollup.span_candidates != counters["candidates"]:
+            errors.append(
+                f"candidates: join-partition span args sum to "
+                f"{rollup.span_candidates}, counters report "
+                f"{counters['candidates']}"
+            )
+    if (
+        not rollup.fault_events
+        and rollup.join_partitions
+        and "partitions_joined" in counters
+        and rollup.join_partitions != counters["partitions_joined"]
+    ):
+        errors.append(
+            f"partitions_joined: {rollup.join_partitions} join-partition "
+            f"spans, counters report {counters['partitions_joined']}"
+        )
+
+    dropped = trace.get("pasjoin_dropped_events", 0)
+    if dropped:
+        errors.append(f"{dropped} events were dropped (shard capacity)")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="cross-check span sums against the embedded job metrics",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance for the phase-seconds checks (default 0.05)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.005,
+        help="absolute seconds slack for sub-millisecond phases "
+        "(default 0.005)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rollup; print validation results only",
+    )
+    args = parser.parse_args()
+
+    try:
+        trace = load_trace(args.trace)
+        rollup = Rollup(trace)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"trace_summary: cannot load {args.trace}: {e}",
+              file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print_rollup(rollup, trace)
+    if args.validate:
+        errors = validate(rollup, trace, args.tolerance, args.slack)
+        if errors:
+            for message in errors:
+                print(f"trace_summary: FAIL: {message}", file=sys.stderr)
+            return 1
+        print(f"trace_summary: validation OK ({args.trace})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Runtime half of the lock-rank deadlock checker (src/common/sync.h): a
+// thread-local stack of held ranked locks, and the abort paths that dump it.
+// Compiled unconditionally — TUs with rank checks disabled simply never call
+// in — so a single force-enabled TU (the sync death test) links fine against
+// a release-built library.
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pasjoin::sync_internal {
+
+namespace {
+
+struct HeldRank {
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+/// The calling thread's held ranked locks in acquisition order. Fixed-size
+/// plain data: lock acquisition must not allocate.
+struct RankStack {
+  HeldRank entries[kMaxHeldRanks];
+  int depth = 0;
+};
+
+thread_local RankStack tls_rank_stack;
+
+void DumpHeldStack(const RankStack& stack) {
+  std::fprintf(stderr, "  held ranked locks (acquisition order):\n");
+  for (int i = 0; i < stack.depth; ++i) {
+    std::fprintf(stderr, "    #%d '%s' (rank %d)\n", i,
+                 stack.entries[i].name, stack.entries[i].rank);
+  }
+}
+
+}  // namespace
+
+void PushHeldRank(int rank, const char* name) {
+  RankStack& stack = tls_rank_stack;
+  if (stack.depth > 0) {
+    const HeldRank& top = stack.entries[stack.depth - 1];
+    if (top.rank >= rank) {
+      std::fprintf(stderr,
+                   "pasjoin sync: LOCK-RANK INVERSION: thread acquiring "
+                   "'%s' (rank %d) while already holding '%s' (rank %d); "
+                   "ranks must be strictly increasing in acquisition order "
+                   "(see the lockrank table in common/sync.h and "
+                   "docs/STATIC_ANALYSIS.md)\n",
+                   name, rank, top.name, top.rank);
+      DumpHeldStack(stack);
+      std::abort();
+    }
+  }
+  if (stack.depth >= kMaxHeldRanks) {
+    std::fprintf(stderr,
+                 "pasjoin sync: held-rank stack overflow acquiring '%s' "
+                 "(rank %d): more than %d ranked locks held by one thread\n",
+                 name, rank, kMaxHeldRanks);
+    DumpHeldStack(stack);
+    std::abort();
+  }
+  stack.entries[stack.depth].rank = rank;
+  stack.entries[stack.depth].name = name;
+  ++stack.depth;
+}
+
+void PopHeldRank(int rank, const char* name) {
+  RankStack& stack = tls_rank_stack;
+  // RAII usage releases strictly LIFO, but Mutex::Unlock is callable by
+  // hand; tolerate out-of-order release by removing the innermost matching
+  // entry, and abort on a release of a lock this thread never acquired
+  // (which would mean an Unlock on another thread's lock — a real bug).
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    if (stack.entries[i].rank == rank && stack.entries[i].name == name) {
+      for (int j = i; j + 1 < stack.depth; ++j) {
+        stack.entries[j] = stack.entries[j + 1];
+      }
+      --stack.depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "pasjoin sync: UNBALANCED RELEASE: thread releasing '%s' "
+               "(rank %d) which it does not hold\n",
+               name, rank);
+  DumpHeldStack(stack);
+  std::abort();
+}
+
+}  // namespace pasjoin::sync_internal

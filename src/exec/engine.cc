@@ -16,12 +16,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -31,6 +29,7 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "exec/thread_pool.h"
 #include "obs/counters.h"
 #include "spatial/rtree.h"
@@ -47,27 +46,33 @@ struct Routed {
   Tuple tuple;
 };
 
-/// Per-logical-worker busy-time accumulator for one phase.
+/// Per-logical-worker busy-time accumulator for one phase. Tasks call Add
+/// concurrently; the driver reads Makespan()/busy() after the phase drains
+/// (both still take the lock — the accumulator is far off the hot path).
 class PhaseClock {
  public:
   explicit PhaseClock(int workers) : busy_(static_cast<size_t>(workers), 0.0) {}
 
-  void Add(int worker, double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(int worker, double seconds) PASJOIN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     busy_[static_cast<size_t>(worker)] += seconds;
   }
 
-  double Makespan() const {
+  double Makespan() const PASJOIN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     double mx = 0.0;
     for (double b : busy_) mx = std::max(mx, b);
     return mx;
   }
 
-  const std::vector<double>& busy() const { return busy_; }
+  std::vector<double> busy() const PASJOIN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return busy_;
+  }
 
  private:
-  std::mutex mu_;
-  std::vector<double> busy_;
+  mutable Mutex mu_{"PhaseClock::mu_", lockrank::kEnginePhaseClock};
+  std::vector<double> busy_ PASJOIN_GUARDED_BY(mu_);
 };
 
 /// Runs `task(index)` for every index in [0, count) on the pool, attributing
@@ -736,7 +741,7 @@ struct FaultStats {
 using PublishFn = std::function<void()>;
 using TaskBody = std::function<PublishFn(int task)>;
 
-/// Executes `count` tasks of `phase` with recovery semantics:
+/// One recoverable phase execution:
 ///   * every injected/real failure is retried (fresh attempt id, exponential
 ///     backoff) until FaultOptions::max_retries is exhausted, at which point
 ///     the phase aborts with kResourceExhausted;
@@ -745,32 +750,118 @@ using TaskBody = std::function<PublishFn(int task)>;
 ///     to the deterministic failover neighbor (lost + 1) % workers;
 ///   * once enough tasks committed, any task running longer than
 ///     straggler_multiplier x the median committed time gets one speculative
-///     backup; whichever attempt finishes first commits.
-/// All in-flight attempts are drained before returning, so phase-local
+///     backup; whichever attempt finishes first commits (the commit-once
+///     publishing protocol lives in the `publishing`/`committed` bits of
+///     TaskState, all guarded by `mu_`).
+/// All in-flight attempts are drained before Run() returns, so phase-local
 /// state owned by the caller stays valid.
-Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
-                          PhaseClock* clock,
-                          const std::function<int(int)>& owner_of,
-                          const FaultInjector& injector, bool* worker_lost,
-                          FaultStats* stats, obs::TraceRecorder* trace,
-                          const char* phase_name, const char* task_name,
-                          const TaskBody& body) {
-  if (count <= 0) return Status::OK();
-  obs::ScopedSpan phase_span(trace, phase_name, "phase");
-  phase_span.SetTrack(obs::kDriverTrack);
-  phase_span.AddArg("tasks", count);
-  const FaultOptions& fo = injector.options();
-  const bool lose_here = injector.LosesWorkerIn(phase);
-  if (lose_here) {
-    *worker_lost = true;
-    FaultInstant(trace, "fault-worker-lost", obs::kDriverTrack, "worker",
-                 injector.lost_worker());
+///
+/// The retry/speculation bookkeeping shared between the driver loop and the
+/// pool attempts is held in PASJOIN_GUARDED_BY(mu_) members; mu_ ranks
+/// kEnginePhaseState — the outermost engine lock, held while submitting to
+/// the thread pool (lockrank::kThreadPool ranks above it).
+class RecoveringPhaseRunner {
+ public:
+  RecoveringPhaseRunner(ThreadPool* pool, Phase phase, int count,
+                        PhaseClock* clock,
+                        const std::function<int(int)>& owner_of,
+                        const FaultInjector& injector, bool lose_here,
+                        bool lost_active, int survivor, FaultStats* stats,
+                        obs::TraceRecorder* trace, const char* task_name,
+                        const TaskBody& body)
+      : pool_(pool),
+        phase_(phase),
+        count_(count),
+        clock_(clock),
+        owner_of_(owner_of),
+        injector_(injector),
+        lose_here_(lose_here),
+        lost_active_(lost_active),
+        lost_(injector.lost_worker()),
+        survivor_(survivor),
+        stats_(stats),
+        trace_(trace),
+        task_name_(task_name),
+        body_(body) {
+    states_.resize(static_cast<size_t>(count));
   }
-  const bool lost_active = *worker_lost;
-  const int lost = injector.lost_worker();
-  const int survivor =
-      (lost >= 0 && workers >= 2) ? (lost + 1) % workers : -1;
 
+  /// Drives the phase to completion (or retry-budget exhaustion).
+  Status Run() PASJOIN_EXCLUDES(mu_) {
+    const FaultOptions& fo = injector_.options();
+    MutexLock lock(&mu_);
+    for (int t = 0; t < count_; ++t) Launch(t, 0, 0.0, /*is_retry=*/false);
+
+    while (committed_count_ < count_) {
+      // 1. Retry newly failed tasks (or give up once the budget is spent).
+      for (int t = 0; t < count_; ++t) {
+        TaskState& st = states_[static_cast<size_t>(t)];
+        if (st.committed || st.failures == st.handled_failures) continue;
+        if (st.running > 0) continue;  // a live attempt may still succeed
+        if (st.failures > fo.max_retries) {
+          failure_ = Status::ResourceExhausted(
+              "task " + std::to_string(t) + " of phase " + PhaseName(phase_) +
+              " failed " + std::to_string(st.failures) +
+              " time(s), retry budget (" + std::to_string(fo.max_retries) +
+              ") exhausted; last error: " + st.last_error);
+          aborted_ = true;
+          break;
+        }
+        const int retry_index = st.failures;  // 1-based
+        const double backoff_seconds =
+            fo.backoff_base_ms *
+            std::pow(fo.backoff_multiplier, retry_index - 1) / 1000.0;
+        st.handled_failures = st.failures;
+        st.started_at = -1.0;  // re-arm the speculation timer
+        retried_++;
+        FaultInstant(trace_, "fault-retry", obs::kDriverTrack, "task", t);
+        Launch(t, st.attempts, backoff_seconds, /*is_retry=*/true);
+      }
+      if (aborted_) break;
+
+      // 2. Speculative execution: back up tasks that exceed the threshold.
+      if (fo.speculation && !committed_durations_.empty()) {
+        const size_t min_samples =
+            std::max<size_t>(3, static_cast<size_t>(count_) / 4);
+        if (committed_durations_.size() >= min_samples) {
+          std::vector<double> durations = committed_durations_;
+          const size_t mid = durations.size() / 2;
+          std::nth_element(durations.begin(),
+                           durations.begin() + static_cast<std::ptrdiff_t>(mid),
+                           durations.end());
+          const double median = durations[mid];
+          const double threshold =
+              std::max(fo.straggler_multiplier * median, 1e-3);
+          const double now = phase_watch_.ElapsedSeconds();
+          for (int t = 0; t < count_; ++t) {
+            TaskState& st = states_[static_cast<size_t>(t)];
+            if (st.committed || st.speculated || st.running == 0) continue;
+            if (st.failures != st.handled_failures) continue;
+            if (st.started_at < 0.0 || now - st.started_at <= threshold) {
+              continue;
+            }
+            st.speculated = true;
+            speculated_++;
+            FaultInstant(trace_, "fault-speculate", obs::kDriverTrack, "task",
+                         t);
+            Launch(t, st.attempts, 0.0, /*is_retry=*/false);
+          }
+        }
+      }
+      cv_.WaitFor(&mu_, std::chrono::microseconds(500));
+    }
+    // Drain every in-flight attempt before phase-local state goes away.
+    while (running_total_ != 0) cv_.Wait(&mu_);
+
+    stats_->failed += failed_;
+    stats_->retried += retried_;
+    stats_->speculated += speculated_;
+    stats_->recovery_seconds += recovery_seconds_;
+    if (aborted_) return failure_;
+    return Status::OK();
+  }
+
+ private:
   struct TaskState {
     bool committed = false;
     bool publishing = false;
@@ -785,211 +876,207 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
     std::string last_error;
   };
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<TaskState> states(static_cast<size_t>(count));
-  int committed_count = 0;
-  int running_total = 0;
-  bool aborted = false;
-  std::vector<double> committed_durations;
-  uint64_t failed_local = 0;
-  uint64_t retried_local = 0;
-  uint64_t speculated_local = 0;
-  double recovery_local = 0.0;
-  Stopwatch phase_watch;
-
-  auto attribution = [&](int task) {
-    const int w = owner_of(task);
-    if (lost_active && w == lost && survivor >= 0) return survivor;
+  /// Logical worker an attempt of `task` is attributed to (the failover
+  /// neighbor once the owner has been lost).
+  int Attribution(int task) const {
+    const int w = owner_of_(task);
+    if (lost_active_ && w == lost_ && survivor_ >= 0) return survivor_;
     return w;
-  };
-
-  // Launches one attempt. Caller must hold `mu`.
-  auto launch = [&](int task, int attempt, double backoff_seconds,
-                    bool is_retry) {
-    TaskState& st = states[static_cast<size_t>(task)];
-    st.attempts++;
-    st.running++;
-    running_total++;
-    pool->Submit([&, task, attempt, backoff_seconds, is_retry] {
-      if (backoff_seconds > 0.0) {
-        FaultInstant(trace, "fault-backoff", obs::kDriverTrack, "task", task);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(backoff_seconds));
-      }
-      auto abandon = [&] {
-        std::lock_guard<std::mutex> lock(mu);
-        states[static_cast<size_t>(task)].running--;
-        running_total--;
-        cv.notify_all();
-      };
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        TaskState& ts = states[static_cast<size_t>(task)];
-        if (ts.committed) {
-          // A queued backup whose original already won: nothing to do.
-          ts.running--;
-          running_total--;
-          cv.notify_all();
-          return;
-        }
-        if (ts.started_at < 0.0) ts.started_at = phase_watch.ElapsedSeconds();
-      }
-      // The attempt span wraps the same region as the attempt stopwatch and
-      // lands on the attributed worker's track; kernel spans opened inside
-      // `body` inherit the track. Failed and losing speculative attempts
-      // record committed=0, so the trace rollup can count only the attempts
-      // the PhaseClock counted.
-      const int attributed = attribution(task);
-      obs::ScopedTrack track_scope(trace, attributed);
-      obs::ScopedSpan attempt_span(trace, task_name, "task");
-      attempt_span.AddArg("task", task);
-      attempt_span.AddArg("attempt", attempt);
-      Stopwatch attempt_watch;
-      bool failed = false;
-      std::string error;
-      PublishFn publish;
-      if (lose_here && attempt == 0 && owner_of(task) == lost) {
-        failed = true;
-        error = "logical worker " + std::to_string(lost) + " lost";
-      } else if (injector.ShouldFail(phase, task, attempt)) {
-        failed = true;
-        error = "injected fault";
-      } else {
-        if (injector.IsStraggler(phase, task, attempt)) {
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              injector.StragglerDelaySeconds()));
-          std::unique_lock<std::mutex> lock(mu);
-          if (states[static_cast<size_t>(task)].committed) {
-            // A speculative backup finished while this straggler slept.
-            attempt_span.AddArg("committed", 0);
-            lock.unlock();
-            abandon();
-            return;
-          }
-        }
-        try {
-          publish = body(task);
-        } catch (const std::exception& e) {
-          failed = true;
-          error = e.what();
-        } catch (...) {
-          failed = true;
-          error = "unknown exception";
-        }
-      }
-      bool winner = false;
-      if (!failed) {
-        std::lock_guard<std::mutex> lock(mu);
-        TaskState& ts = states[static_cast<size_t>(task)];
-        if (!ts.committed && !ts.publishing) {
-          ts.publishing = true;
-          winner = true;
-        }
-      }
-      if (winner) {
-        if (publish) publish();
-        clock->Add(attributed, attempt_watch.ElapsedSeconds());
-      }
-      attempt_span.AddArg("committed", winner ? 1 : 0);
-      if (failed) FaultInstant(trace, "fault-failure", attributed, "task", task);
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        TaskState& ts = states[static_cast<size_t>(task)];
-        if (winner) {
-          ts.committed = true;
-          committed_count++;
-          committed_durations.push_back(attempt_watch.ElapsedSeconds());
-        }
-        if (failed) {
-          ts.failures++;
-          ts.last_error = error;
-          failed_local++;
-        }
-        if (is_retry) {
-          recovery_local += backoff_seconds + attempt_watch.ElapsedSeconds();
-        }
-        ts.running--;
-        running_total--;
-        cv.notify_all();
-      }
-    });
-  };
-
-  Status failure;
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    for (int t = 0; t < count; ++t) launch(t, 0, 0.0, /*is_retry=*/false);
-
-    while (committed_count < count) {
-      // 1. Retry newly failed tasks (or give up once the budget is spent).
-      for (int t = 0; t < count; ++t) {
-        TaskState& st = states[static_cast<size_t>(t)];
-        if (st.committed || st.failures == st.handled_failures) continue;
-        if (st.running > 0) continue;  // a live attempt may still succeed
-        if (st.failures > fo.max_retries) {
-          failure = Status::ResourceExhausted(
-              "task " + std::to_string(t) + " of phase " + PhaseName(phase) +
-              " failed " + std::to_string(st.failures) +
-              " time(s), retry budget (" + std::to_string(fo.max_retries) +
-              ") exhausted; last error: " + st.last_error);
-          aborted = true;
-          break;
-        }
-        const int retry_index = st.failures;  // 1-based
-        const double backoff_seconds =
-            fo.backoff_base_ms *
-            std::pow(fo.backoff_multiplier, retry_index - 1) / 1000.0;
-        st.handled_failures = st.failures;
-        st.started_at = -1.0;  // re-arm the speculation timer
-        retried_local++;
-        FaultInstant(trace, "fault-retry", obs::kDriverTrack, "task", t);
-        launch(t, st.attempts, backoff_seconds, /*is_retry=*/true);
-      }
-      if (aborted) break;
-
-      // 2. Speculative execution: back up tasks that exceed the threshold.
-      if (fo.speculation && !committed_durations.empty()) {
-        const size_t min_samples =
-            std::max<size_t>(3, static_cast<size_t>(count) / 4);
-        if (committed_durations.size() >= min_samples) {
-          std::vector<double> durations = committed_durations;
-          const size_t mid = durations.size() / 2;
-          std::nth_element(durations.begin(),
-                           durations.begin() + static_cast<std::ptrdiff_t>(mid),
-                           durations.end());
-          const double median = durations[mid];
-          const double threshold =
-              std::max(fo.straggler_multiplier * median, 1e-3);
-          const double now = phase_watch.ElapsedSeconds();
-          for (int t = 0; t < count; ++t) {
-            TaskState& st = states[static_cast<size_t>(t)];
-            if (st.committed || st.speculated || st.running == 0) continue;
-            if (st.failures != st.handled_failures) continue;
-            if (st.started_at < 0.0 || now - st.started_at <= threshold) {
-              continue;
-            }
-            st.speculated = true;
-            speculated_local++;
-            FaultInstant(trace, "fault-speculate", obs::kDriverTrack, "task",
-                         t);
-            launch(t, st.attempts, 0.0, /*is_retry=*/false);
-          }
-        }
-      }
-      cv.wait_for(lock, std::chrono::microseconds(500));
-    }
-    // Drain every in-flight attempt before phase-local state goes away.
-    cv.wait(lock, [&] { return running_total == 0; });
   }
 
-  stats->failed += failed_local;
-  stats->retried += retried_local;
-  stats->speculated += speculated_local;
-  stats->recovery_seconds += recovery_local;
-  if (aborted) return failure;
-  return Status::OK();
+  /// Launches one attempt on the pool.
+  void Launch(int task, int attempt, double backoff_seconds, bool is_retry)
+      PASJOIN_REQUIRES(mu_) {
+    TaskState& st = states_[static_cast<size_t>(task)];
+    st.attempts++;
+    st.running++;
+    running_total_++;
+    pool_->Submit([this, task, attempt, backoff_seconds, is_retry] {
+      RunAttempt(task, attempt, backoff_seconds, is_retry);
+    });
+  }
+
+  /// Executes one attempt on a pool thread.
+  void RunAttempt(int task, int attempt, double backoff_seconds, bool is_retry)
+      PASJOIN_EXCLUDES(mu_) {
+    if (backoff_seconds > 0.0) {
+      FaultInstant(trace_, "fault-backoff", obs::kDriverTrack, "task", task);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_seconds));
+    }
+    {
+      MutexLock lock(&mu_);
+      TaskState& ts = states_[static_cast<size_t>(task)];
+      if (ts.committed) {
+        // A queued backup whose original already won: nothing to do.
+        FinishAttempt(task);
+        return;
+      }
+      if (ts.started_at < 0.0) ts.started_at = phase_watch_.ElapsedSeconds();
+    }
+    // The attempt span wraps the same region as the attempt stopwatch and
+    // lands on the attributed worker's track; kernel spans opened inside
+    // `body` inherit the track. Failed and losing speculative attempts
+    // record committed=0, so the trace rollup can count only the attempts
+    // the PhaseClock counted.
+    const int attributed = Attribution(task);
+    obs::ScopedTrack track_scope(trace_, attributed);
+    obs::ScopedSpan attempt_span(trace_, task_name_, "task");
+    attempt_span.AddArg("task", task);
+    attempt_span.AddArg("attempt", attempt);
+    Stopwatch attempt_watch;
+    bool failed = false;
+    std::string error;
+    PublishFn publish;
+    if (lose_here_ && attempt == 0 && owner_of_(task) == lost_) {
+      failed = true;
+      error = "logical worker " + std::to_string(lost_) + " lost";
+    } else if (injector_.ShouldFail(phase_, task, attempt)) {
+      failed = true;
+      error = "injected fault";
+    } else {
+      if (injector_.IsStraggler(phase_, task, attempt)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            injector_.StragglerDelaySeconds()));
+        MutexLock lock(&mu_);
+        if (states_[static_cast<size_t>(task)].committed) {
+          // A speculative backup finished while this straggler slept.
+          attempt_span.AddArg("committed", 0);
+          FinishAttempt(task);
+          return;
+        }
+      }
+      try {
+        publish = body_(task);
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      } catch (...) {
+        failed = true;
+        error = "unknown exception";
+      }
+    }
+    bool winner = false;
+    if (!failed) {
+      MutexLock lock(&mu_);
+      TaskState& ts = states_[static_cast<size_t>(task)];
+      if (!ts.committed && !ts.publishing) {
+        ts.publishing = true;
+        winner = true;
+      }
+    }
+    if (winner) {
+      if (publish) publish();
+      clock_->Add(attributed, attempt_watch.ElapsedSeconds());
+    }
+    attempt_span.AddArg("committed", winner ? 1 : 0);
+    if (failed) {
+      FaultInstant(trace_, "fault-failure", attributed, "task", task);
+    }
+    {
+      MutexLock lock(&mu_);
+      TaskState& ts = states_[static_cast<size_t>(task)];
+      if (winner) {
+        ts.committed = true;
+        committed_count_++;
+        committed_durations_.push_back(attempt_watch.ElapsedSeconds());
+      }
+      if (failed) {
+        ts.failures++;
+        ts.last_error = error;
+        failed_++;
+      }
+      if (is_retry) {
+        recovery_seconds_ += backoff_seconds + attempt_watch.ElapsedSeconds();
+      }
+      FinishAttempt(task);
+    }
+  }
+
+  /// Retires one attempt and wakes the driver loop.
+  void FinishAttempt(int task) PASJOIN_REQUIRES(mu_) {
+    states_[static_cast<size_t>(task)].running--;
+    running_total_--;
+    cv_.NotifyAll();
+  }
+
+  ThreadPool* const pool_;
+  const Phase phase_;
+  const int count_;
+  PhaseClock* const clock_;
+  const std::function<int(int)>& owner_of_;
+  const FaultInjector& injector_;
+  const bool lose_here_;
+  const bool lost_active_;
+  const int lost_;
+  const int survivor_;
+  FaultStats* const stats_;
+  obs::TraceRecorder* const trace_;
+  const char* const task_name_;
+  const TaskBody& body_;
+  const Stopwatch phase_watch_;
+
+  Mutex mu_{"RecoveringPhaseRunner::mu_", lockrank::kEnginePhaseState};
+  CondVar cv_;
+  std::vector<TaskState> states_ PASJOIN_GUARDED_BY(mu_);
+  int committed_count_ PASJOIN_GUARDED_BY(mu_) = 0;
+  int running_total_ PASJOIN_GUARDED_BY(mu_) = 0;
+  bool aborted_ PASJOIN_GUARDED_BY(mu_) = false;
+  Status failure_ PASJOIN_GUARDED_BY(mu_);
+  std::vector<double> committed_durations_ PASJOIN_GUARDED_BY(mu_);
+  uint64_t failed_ PASJOIN_GUARDED_BY(mu_) = 0;
+  uint64_t retried_ PASJOIN_GUARDED_BY(mu_) = 0;
+  uint64_t speculated_ PASJOIN_GUARDED_BY(mu_) = 0;
+  double recovery_seconds_ PASJOIN_GUARDED_BY(mu_) = 0.0;
+};
+
+/// Executes `count` tasks of `phase` through a RecoveringPhaseRunner,
+/// recording the phase span and the (one-shot) worker-loss transition.
+Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
+                          PhaseClock* clock,
+                          const std::function<int(int)>& owner_of,
+                          const FaultInjector& injector, bool* worker_lost,
+                          FaultStats* stats, obs::TraceRecorder* trace,
+                          const char* phase_name, const char* task_name,
+                          const TaskBody& body) {
+  if (count <= 0) return Status::OK();
+  obs::ScopedSpan phase_span(trace, phase_name, "phase");
+  phase_span.SetTrack(obs::kDriverTrack);
+  phase_span.AddArg("tasks", count);
+  const bool lose_here = injector.LosesWorkerIn(phase);
+  if (lose_here) {
+    *worker_lost = true;
+    FaultInstant(trace, "fault-worker-lost", obs::kDriverTrack, "worker",
+                 injector.lost_worker());
+  }
+  const bool lost_active = *worker_lost;
+  const int lost = injector.lost_worker();
+  const int survivor =
+      (lost >= 0 && workers >= 2) ? (lost + 1) % workers : -1;
+  RecoveringPhaseRunner runner(pool, phase, count, clock, owner_of, injector,
+                               lose_here, lost_active, survivor, stats, trace,
+                               task_name, body);
+  return runner.Run();
 }
+
+/// One worker's regrouped partition buffers plus the lineage to rebuild
+/// them. The slot mutex serializes concurrent attempts of the same join
+/// task (the local join may reorder buffers) and guards lineage-based store
+/// rebuilds; it ranks kEngineWorkerStore, above the phase-state lock and
+/// below the rebuild-stats lock it acquires while holding.
+struct WorkerStoreSlot {
+  Mutex mu{"WorkerStoreSlot::mu", lockrank::kEngineWorkerStore};
+  Store store PASJOIN_GUARDED_BY(mu);
+  WorkerLineage lineage PASJOIN_GUARDED_BY(mu);
+  bool valid PASJOIN_GUARDED_BY(mu) = false;
+};
+
+/// Aggregate time spent rebuilding lost worker stores from lineage,
+/// accumulated from join attempts while they hold their slot lock.
+struct RebuildStats {
+  Mutex mu{"RebuildStats::mu", lockrank::kEngineRebuildStats};
+  double seconds PASJOIN_GUARDED_BY(mu) = 0.0;
+};
 
 Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                  const AssignFn& assign, const OwnerFn& owner,
@@ -1010,8 +1097,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   FaultInjector injector(options.fault);
   bool worker_lost = false;
   FaultStats stats;
-  std::mutex rebuild_mu;
-  double rebuild_seconds = 0.0;
+  RebuildStats rebuild_stats;
 
   // Targeted partition failures strike the join task of the owning worker.
   for (int32_t part : options.fault.fail_partitions) {
@@ -1050,10 +1136,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   // The map outputs are the retained split data every re-execution recovers
   // from, so (unlike the fast path) they are copied, not moved, and stay
   // alive until the join phase has fully committed.
-  std::vector<Store> stores(static_cast<size_t>(workers));
-  std::vector<WorkerLineage> lineages(static_cast<size_t>(workers));
-  std::vector<char> store_valid(static_cast<size_t>(workers), 0);
-  std::vector<std::mutex> store_mu(static_cast<size_t>(workers));
+  std::vector<WorkerStoreSlot> slots(static_cast<size_t>(workers));
   PhaseClock regroup_clock(workers);
   const std::function<int(int)> identity = [](int w) { return w; };
   {
@@ -1062,9 +1145,11 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       auto lineage = std::make_shared<WorkerLineage>();
       BuildWorkerStoreRetained(w, map_out, store.get(), lineage.get());
       return [&, w, store, lineage] {
-        stores[static_cast<size_t>(w)] = std::move(*store);
-        lineages[static_cast<size_t>(w)] = std::move(*lineage);
-        store_valid[static_cast<size_t>(w)] = 1;
+        WorkerStoreSlot& slot = slots[static_cast<size_t>(w)];
+        MutexLock lock(&slot.mu);
+        slot.store = std::move(*store);
+        slot.lineage = std::move(*lineage);
+        slot.valid = true;
       };
     };
     Status st = RunRecoveringPhase(&pool, Phase::kRegroup, workers, workers,
@@ -1077,9 +1162,10 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   // A worker lost during the join phase takes its in-memory partition
   // buffers with it; recovery must rebuild them from lineage.
   if (injector.LosesWorkerIn(Phase::kJoin)) {
-    const int lost = injector.lost_worker();
-    stores[static_cast<size_t>(lost)].clear();
-    store_valid[static_cast<size_t>(lost)] = 0;
+    WorkerStoreSlot& slot = slots[static_cast<size_t>(injector.lost_worker())];
+    MutexLock lock(&slot.mu);
+    slot.store.clear();
+    slot.valid = false;
   }
 
   // --------------------------------------------------------------- join ---
@@ -1097,21 +1183,18 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     const TaskBody body = [&](int w) -> PublishFn {
       auto out = std::make_shared<WorkerJoinOutput>();
       {
-        // Serializes concurrent attempts of the same task (the local join
-        // may reorder buffers) and guards lineage-based store rebuilds.
-        std::lock_guard<std::mutex> lock(store_mu[static_cast<size_t>(w)]);
-        if (store_valid[static_cast<size_t>(w)] == 0) {
+        WorkerStoreSlot& slot = slots[static_cast<size_t>(w)];
+        MutexLock lock(&slot.mu);
+        if (!slot.valid) {
           obs::ScopedSpan rebuild_span(trace, "fault-rebuild", "fault");
           rebuild_span.AddArg("worker", w);
           Stopwatch rebuild;
-          stores[static_cast<size_t>(w)] = RebuildWorkerStore(
-              w, map_out, lineages[static_cast<size_t>(w)]);
-          store_valid[static_cast<size_t>(w)] = 1;
-          std::lock_guard<std::mutex> stats_lock(rebuild_mu);
-          rebuild_seconds += rebuild.ElapsedSeconds();
+          slot.store = RebuildWorkerStore(w, map_out, slot.lineage);
+          slot.valid = true;
+          MutexLock stats_lock(&rebuild_stats.mu);
+          rebuild_stats.seconds += rebuild.ElapsedSeconds();
         }
-        *out = JoinWorkerStore(&stores[static_cast<size_t>(w)], options,
-                               kernel, keep_pairs, trace);
+        *out = JoinWorkerStore(&slot.store, options, kernel, keep_pairs, trace);
       }
       return [&, w, out] {
         worker_pairs[static_cast<size_t>(w)] = std::move(out->pairs);
@@ -1150,7 +1233,10 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   }
   map_out.clear();
   map_out.shrink_to_fit();
-  stores.clear();
+  for (WorkerStoreSlot& slot : slots) {
+    MutexLock lock(&slot.mu);
+    slot.store.clear();
+  }
 
   // -------------------------------------------------------------- dedup ---
   PhaseClock dedup_clock(workers);
@@ -1216,7 +1302,10 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   reg->Add("tasks_failed", stats.failed);
   reg->Add("tasks_retried", stats.retried);
   reg->Add("tasks_speculated", stats.speculated);
-  m.recovery_seconds = stats.recovery_seconds + rebuild_seconds;
+  {
+    MutexLock lock(&rebuild_stats.mu);
+    m.recovery_seconds = stats.recovery_seconds + rebuild_stats.seconds;
+  }
   SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
   if (trace != nullptr) PublishMetricGauges(m, reg);

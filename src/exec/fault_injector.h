@@ -106,6 +106,12 @@ struct FaultOptions {
 
 /// Deterministic, seedable source of injected faults. Thread-safe after
 /// construction and targeted-failure registration (all queries are const).
+///
+/// Concurrency: holds no pasjoin::Mutex by design — the const-after-setup
+/// contract makes query-path locking unnecessary. AddTargetedFailure must
+/// finish (driver thread, before the pool starts executing) before any
+/// concurrent ShouldFail/IsStraggler query; the engine enforces this by
+/// registering targeted failures before the first RunRecoveringPhase.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultOptions& options) : options_(options) {}

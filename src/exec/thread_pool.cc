@@ -18,28 +18,28 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PASJOIN_CHECK(!shutting_down_);
     queue_.push_back(std::move(fn));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   size_t count = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(&mu_);
+    while (!(queue_.empty() && in_flight_ == 0)) all_done_.Wait(&mu_);
     error = std::exchange(first_error_, nullptr);
     count = std::exchange(error_count_, 0);
   }
@@ -62,9 +62,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) task_available_.Wait(&mu_);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -80,13 +79,13 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (error) {
         if (!first_error_) first_error_ = std::move(error);
         ++error_count_;
       }
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

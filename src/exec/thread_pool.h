@@ -7,19 +7,22 @@
 #ifndef PASJOIN_EXEC_THREAD_POOL_H_
 #define PASJOIN_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 
 namespace pasjoin::exec {
 
 /// Fixed pool of worker threads executing submitted tasks FIFO.
+///
+/// Concurrency: all queue/shutdown/error state is guarded by `mu_`
+/// (rank lockrank::kThreadPool — the engine's recovery runner holds its
+/// phase-state lock while calling Submit(), so this lock ranks above it).
 class ThreadPool {
  public:
   /// Creates `num_threads` threads (>= 1).
@@ -36,13 +39,13 @@ class ThreadPool {
   /// thread, including from within running tasks. If tasks throw, the first
   /// exception is captured verbatim and every further failure is counted;
   /// the next Wait() reports the aggregate.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) PASJOIN_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished. If exactly one task
   /// threw since the previous Wait(), rethrows that exception unchanged; if
   /// several threw, throws a std::runtime_error carrying the failure count
   /// and the first captured message (no failure is silently dropped).
-  void Wait();
+  void Wait() PASJOIN_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
@@ -50,18 +53,18 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PASJOIN_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_{"ThreadPool::mu_", lockrank::kThreadPool};
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ PASJOIN_GUARDED_BY(mu_);
+  int in_flight_ PASJOIN_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ PASJOIN_GUARDED_BY(mu_) = false;
   /// First exception thrown by a task since the last Wait(), plus the total
-  /// number of failed tasks in the same window. Guarded by mu_.
-  std::exception_ptr first_error_;
-  size_t error_count_ = 0;
+  /// number of failed tasks in the same window.
+  std::exception_ptr first_error_ PASJOIN_GUARDED_BY(mu_);
+  size_t error_count_ PASJOIN_GUARDED_BY(mu_) = 0;
   std::vector<std::thread> threads_;
 };
 

@@ -2,7 +2,6 @@
 #include "extent/extent_join.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"

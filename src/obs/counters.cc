@@ -4,44 +4,44 @@
 namespace pasjoin::obs {
 
 void CounterRegistry::Add(const std::string& name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_[name] += delta;
 }
 
 void CounterRegistry::Set(const std::string& name, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_[name] = value;
 }
 
 uint64_t CounterRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void CounterRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   gauges_[name] = value;
 }
 
 double CounterRegistry::GetGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 std::map<std::string, uint64_t> CounterRegistry::SnapshotCounters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 
 std::map<std::string, double> CounterRegistry::SnapshotGauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return gauges_;
 }
 
 void CounterRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
 }

@@ -17,13 +17,18 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace pasjoin::obs {
 
 /// Thread-safe registry of named uint64 counters and double gauges.
 /// Intended call rate: phase boundaries, not inner loops.
+///
+/// Concurrency: both maps are guarded by `mu_` (rank
+/// lockrank::kCounterRegistry — a leaf lock, never held while acquiring
+/// another).
 class CounterRegistry {
  public:
   CounterRegistry() = default;
@@ -56,9 +61,9 @@ class CounterRegistry {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
+  mutable Mutex mu_{"CounterRegistry::mu_", lockrank::kCounterRegistry};
+  std::map<std::string, uint64_t> counters_ PASJOIN_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ PASJOIN_GUARDED_BY(mu_);
 };
 
 }  // namespace pasjoin::obs

@@ -71,7 +71,7 @@ TraceRecorder::Shard* TraceRecorder::GetShard() {
   if (tls_shard_cache.recorder_id == recorder_id_) {
     return static_cast<Shard*>(tls_shard_cache.shard);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto shard = std::make_unique<Shard>();
   shard->thread_ordinal = static_cast<uint32_t>(shards_.size());
   shard->events.reserve(std::min<size_t>(max_events_per_thread_, 1024));
@@ -104,21 +104,21 @@ void TraceRecorder::Instant(const char* name, const char* category,
 }
 
 uint64_t TraceRecorder::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->dropped;
   return total;
 }
 
 size_t TraceRecorder::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return shards_.size();
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& shard : shards_) {
       out.insert(out.end(), shard->events.begin(), shard->events.end());
     }

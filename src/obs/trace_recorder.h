@@ -41,11 +41,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/counters.h"
 
 namespace pasjoin::obs {
@@ -115,13 +115,13 @@ class TraceRecorder {
   const CounterRegistry& counters() const { return counters_; }
 
   /// Events dropped because a shard hit max_events_per_thread.
-  uint64_t dropped_events() const;
+  uint64_t dropped_events() const PASJOIN_EXCLUDES(mu_);
 
   /// Number of distinct threads that have recorded at least one event.
-  size_t thread_count() const;
+  size_t thread_count() const PASJOIN_EXCLUDES(mu_);
 
   /// All recorded events, merged across shards and sorted by start time.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const PASJOIN_EXCLUDES(mu_);
 
   /// Serializes the trace as Chrome trace-event JSON into `*out`.
   void AppendJson(std::string* out) const;
@@ -136,6 +136,12 @@ class TraceRecorder {
  private:
   friend class ScopedTrack;
 
+  /// One thread's event buffer. The Shard OBJECTS are deliberately NOT
+  /// mutex-guarded: after registration each shard is written by exactly one
+  /// thread (the registrant, through its thread-local cached pointer) and
+  /// only read by others via Snapshot/export, which the class contract
+  /// forbids running concurrently with appends. Only the registry of shards
+  /// (`shards_` below) is guarded.
   struct Shard {
     std::vector<TraceEvent> events;
     uint64_t dropped = 0;
@@ -143,8 +149,9 @@ class TraceRecorder {
   };
 
   /// The calling thread's shard, registering it on first use (the only
-  /// locking step of the record path).
-  Shard* GetShard();
+  /// locking step of the record path; all later appends are lock-free via
+  /// the thread-local cache).
+  Shard* GetShard() PASJOIN_EXCLUDES(mu_);
 
   const std::chrono::steady_clock::time_point epoch_;
   const size_t max_events_per_thread_;
@@ -154,8 +161,10 @@ class TraceRecorder {
   const uint64_t recorder_id_;
   CounterRegistry counters_;
 
-  mutable std::mutex mu_;  ///< guards shards_ (registration + export).
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards shard registration and export; rank kTraceShards because a span
+  /// recorded under any engine lock may register a shard on first append.
+  mutable Mutex mu_{"TraceRecorder::mu_", lockrank::kTraceShards};
+  std::vector<std::unique_ptr<Shard>> shards_ PASJOIN_GUARDED_BY(mu_);
 };
 
 /// RAII span: opens at construction, records at destruction. All methods

@@ -35,6 +35,7 @@
 #include "common/small_vector.h"          // IWYU pragma: export
 #include "common/status.h"                // IWYU pragma: export
 #include "common/stopwatch.h"             // IWYU pragma: export
+#include "common/sync.h"                  // IWYU pragma: export
 #include "common/tuple.h"                 // IWYU pragma: export
 #include "core/adaptive_join.h"           // IWYU pragma: export
 #include "core/cost_model.h"              // IWYU pragma: export

@@ -156,6 +156,39 @@ TEST(ThreadPoolStressTest, TasksMaySubmitFurtherTasks) {
   EXPECT_EQ(ran.load(), 64 * 3);
 }
 
+TEST(ThreadPoolStressTest, ShutdownRacesWithQueueDrain) {
+  // Destruction begins the moment the last Submit returns, with the queue
+  // still partially full: the shutdown broadcast races against workers
+  // pulling tasks and against sleepers on the task_available condvar. Every
+  // already-enqueued task must still run exactly once (destructor-drain
+  // contract), across many rounds to vary the interleaving.
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> ran{0};
+    std::atomic<int> submitted{0};
+    constexpr int kSubmitters = 4;
+    constexpr int kTasksPerSubmitter = 100;
+    {
+      ThreadPool pool(4);
+      std::vector<std::thread> submitters;
+      submitters.reserve(kSubmitters);
+      for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&pool, &ran, &submitted] {
+          for (int i = 0; i < kTasksPerSubmitter; ++i) {
+            pool.Submit([&ran] {
+              ran.fetch_add(1, std::memory_order_relaxed);
+            });
+            submitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (std::thread& t : submitters) t.join();
+      // No Wait(): the destructor shuts down with work still queued.
+    }
+    EXPECT_EQ(ran.load(), submitted.load());
+    EXPECT_EQ(submitted.load(), kSubmitters * kTasksPerSubmitter);
+  }
+}
+
 TEST(ThreadPoolStressTest, RepeatedWaitCyclesUnderLoad) {
   ThreadPool pool(4);
   std::atomic<int64_t> sum{0};

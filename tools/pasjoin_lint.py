@@ -19,9 +19,25 @@ suppression mechanism):
                          pthread_create, and the blocking/timing primitives
                          of the retry machinery (std::this_thread::sleep_for
                          / sleep_until, std::condition_variable[_any],
-                         usleep, nanosleep) appear only under src/exec/
-                         (the engine owns all threading, and retry/backoff
-                         timing lives in its fault-tolerance layer).
+                         usleep, nanosleep) appear only under src/exec/ and
+                         in src/common/sync.* (the engine owns all
+                         threading, retry/backoff timing lives in its
+                         fault-tolerance layer, and the annotated sync layer
+                         wraps the one condition variable everyone shares).
+  sync-discipline        Raw standard-library locking (std::mutex and
+                         friends, std::lock_guard / unique_lock /
+                         scoped_lock / shared_lock, std::condition_variable,
+                         and the <mutex> / <shared_mutex> /
+                         <condition_variable> headers) appears only in
+                         src/common/sync.{h,cc}. Everything else uses the
+                         annotated pasjoin::Mutex / MutexLock / CondVar so
+                         Clang thread-safety analysis and the lock-rank
+                         checker see every acquisition.
+  sync-guarded-by        Every pasjoin::Mutex member needs at least one
+                         PASJOIN_GUARDED_BY / PASJOIN_PT_GUARDED_BY user
+                         naming it in the same file: a mutex protecting
+                         nothing the analysis can see is either dead or
+                         hiding unannotated shared state.
   rng-discipline         rand()/srand()/std::random_device/std::mt19937/
                          <random> appear only under src/common/rng.* (all
                          randomness flows through the deterministic Rng).
@@ -39,6 +55,8 @@ suppression mechanism):
                          buffers.
 
 Suppression: append  // pasjoin-lint: allow(<rule>)  to the offending line.
+A suppression naming a rule this linter does not know is itself an error
+(unknown-suppression): stale allowances must not survive rule renames.
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
 """
@@ -75,6 +93,12 @@ THREAD_TOKEN_RE = re.compile(
     r"\b(?:std::thread|std::jthread|std::async|pthread_create|"
     r"std::this_thread::sleep_for|std::this_thread::sleep_until|"
     r"std::condition_variable(?:_any)?|usleep\s*\(|nanosleep\s*\()")
+SYNC_TOKEN_RE = re.compile(
+    r"\b(?:std::(?:timed_|recursive_(?:timed_)?|shared_(?:timed_)?)?mutex|"
+    r"std::lock_guard|std::unique_lock|std::scoped_lock|std::shared_lock|"
+    r"std::condition_variable(?:_any)?|std::call_once|std::once_flag)\b")
+SYNC_HEADER_RE = re.compile(
+    r"^\s*#\s*include\s+<(?:mutex|shared_mutex|condition_variable)>")
 RNG_TOKEN_RE = re.compile(
     r"\b(?:s?rand\s*\(|std::random_device|std::mt19937(?:_64)?|"
     r"std::minstd_rand0?|std::default_random_engine|drand48\s*\()")
@@ -83,6 +107,21 @@ STD_FUNCTION_TOKEN_RE = re.compile(r"\bstd::function\b")
 FUNCTIONAL_HEADER_RE = re.compile(r'^\s*#\s*include\s+<functional>')
 NODISCARD_DECL_RE = re.compile(
     r"^\s*(?:static\s+)?(?:Status|Result<[^;{}()]+>)\s+[A-Z]\w*\s*\(")
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*[;{]")
+
+# Every rule this linter can emit or honor in an allow(...) suppression.
+KNOWN_RULES = frozenset({
+    "umbrella-reachability",
+    "self-contained",
+    "no-include-cycles",
+    "layering",
+    "no-naked-thread",
+    "sync-discipline",
+    "sync-guarded-by",
+    "rng-discipline",
+    "nodiscard-status",
+    "no-function-hotpath",
+})
 
 
 class Violation:
@@ -291,6 +330,54 @@ def check_nodiscard(headers: list[Path]) -> list[Violation]:
     return violations
 
 
+def check_guarded_by(files: list[Path]) -> list[Violation]:
+    """Every pasjoin::Mutex member must guard something: at least one
+    PASJOIN_GUARDED_BY / PASJOIN_PT_GUARDED_BY in the same file names it."""
+    violations = []
+    for f in files:
+        if f.parent.name == "common" and f.name in ("sync.h", "sync.cc"):
+            continue
+        raw_lines = f.read_text().splitlines()
+        code = strip_comments_and_strings(f.read_text())
+        code_lines = code.splitlines()
+        for lineno, line in enumerate(code_lines, 1):
+            m = MUTEX_MEMBER_RE.match(line)
+            if not m:
+                continue
+            name = m.group(1)
+            use_re = re.compile(
+                r"PASJOIN_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) +
+                r"\s*\)")
+            if use_re.search(code):
+                continue
+            if suppressed(raw_lines[lineno - 1], "sync-guarded-by"):
+                continue
+            violations.append(Violation(
+                "sync-guarded-by", f, lineno,
+                f"Mutex member '{name}' has no PASJOIN_GUARDED_BY user in "
+                "this file: annotate the state it protects (or delete it)"))
+    return violations
+
+
+def check_suppressions(files: list[Path]) -> list[Violation]:
+    """Rejects allow(...) suppressions naming rules this linter does not
+    have: a stale allowance silently stops suppressing after a rule rename
+    and then reads as an active exemption that is not one."""
+    violations = []
+    for f in files:
+        for lineno, raw in enumerate(f.read_text().splitlines(), 1):
+            m = SUPPRESS_RE.search(raw)
+            if not m:
+                continue
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                if rule and rule not in KNOWN_RULES:
+                    violations.append(Violation(
+                        "unknown-suppression", f, lineno,
+                        f"suppression names unknown rule '{rule}' "
+                        f"(known: {', '.join(sorted(KNOWN_RULES))})"))
+    return violations
+
+
 def check_self_contained(headers: list[Path], verbose: bool) -> list[Violation]:
     compiler = shutil.which("g++") or shutil.which("clang++")
     if compiler is None:
@@ -334,12 +421,27 @@ def main() -> int:
     violations += check_umbrella_reachability(headers)
     violations += check_include_cycles(headers)
     violations += check_layering(files)
+    def in_sync_layer(f: Path) -> bool:
+        return f.parent.name == "common" and f.name in ("sync.h", "sync.cc")
+
     violations += check_token_rule(
         files, "no-naked-thread", THREAD_TOKEN_RE,
-        allowed=lambda f: f.relative_to(SRC).parts[0] == "exec",
+        allowed=lambda f: f.relative_to(SRC).parts[0] == "exec"
+        or in_sync_layer(f),
         message="threading/sleep/condition-variable primitives are confined "
-                "to src/exec (use exec::ThreadPool; retry/backoff timing "
-                "lives in the engine's fault-tolerance layer)")
+                "to src/exec and src/common/sync.* (use exec::ThreadPool; "
+                "retry/backoff timing lives in the engine's fault-tolerance "
+                "layer)")
+    violations += check_token_rule(
+        files, "sync-discipline", SYNC_TOKEN_RE,
+        allowed=in_sync_layer,
+        message="raw standard-library locking is confined to "
+                "src/common/sync.{h,cc}: use pasjoin::Mutex / MutexLock / "
+                "CondVar so thread-safety analysis and the lock-rank "
+                "checker see the acquisition",
+        extra_line_re=SYNC_HEADER_RE)
+    violations += check_guarded_by(files)
+    violations += check_suppressions(files)
     violations += check_token_rule(
         files, "rng-discipline", RNG_TOKEN_RE,
         allowed=lambda f: f.name in ("rng.h", "rng.cc")

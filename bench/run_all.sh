@@ -2,8 +2,12 @@
 # Runs the full experiment harness (one binary per paper table/figure plus
 # ablations and microbenchmarks) and writes bench_output.txt at the repo
 # root. Knobs:
-#   PASJOIN_BENCH_SCALE  multiplier on the default 1M points per input
-#   PASJOIN_BENCH_REPS   repetitions for time-reporting harnesses (median)
+#   PASJOIN_BENCH_SCALE    multiplier on the default 1M points per input
+#   PASJOIN_BENCH_REPS     repetitions for time-reporting harnesses (median)
+#   PASJOIN_BENCH_TIMEOUT  per-benchmark wall-clock limit in seconds
+#       (default 1800; 0 disables). A benchmark that outlives it is killed
+#       and reported as "timed out" — a hung harness fails the run instead
+#       of hanging it (docs/CANCELLATION.md).
 #
 # Usage:
 #   bench/run_all.sh [BUILD_DIR]          run every harness (text output)
@@ -31,6 +35,17 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 2
 fi
 
+# Per-benchmark watchdog: `timeout` sends SIGTERM at the limit (exit 124)
+# and SIGKILL 30s later if the harness ignores it.
+BENCH_TIMEOUT="${PASJOIN_BENCH_TIMEOUT:-1800}"
+run_bench() {
+  if [ "$BENCH_TIMEOUT" = 0 ]; then
+    "$@"
+  else
+    timeout --kill-after=30 "$BENCH_TIMEOUT" "$@"
+  fi
+}
+
 FAILED=()
 
 if [ "$JSON_MODE" = 1 ]; then
@@ -48,8 +63,17 @@ if [ "$JSON_MODE" = 1 ]; then
       continue
     fi
     echo "### $name $flag"
-    if ! "$bin" "$flag"; then
-      FAILED+=("$name")
+    # Capture the raw exit status (124 = timeout): `if ! cmd` would
+    # overwrite $? with the negation.
+    status=0
+    run_bench "$bin" "$flag" || status=$?
+    if [ "$status" != 0 ]; then
+      if [ "$status" = 124 ]; then
+        echo "run_all.sh: TIMED OUT: $name (> ${BENCH_TIMEOUT}s)" >&2
+        FAILED+=("$name (timed out)")
+      else
+        FAILED+=("$name")
+      fi
     fi
   done
 else
@@ -64,13 +88,19 @@ else
       # Capture the benchmark's own exit status, not tee's: run it into a
       # temp file (so `if ! cmd` sees the binary's status, not a
       # pipeline's), then mirror the output to the console and $OUT.
-      if "$b" > "$TMP" 2>&1; then
+      if run_bench "$b" > "$TMP" 2>&1; then
         tee -a "$OUT" < "$TMP"
       else
         status=$?
         tee -a "$OUT" < "$TMP"
-        echo "run_all.sh: FAILED: $name (exit $status)" | tee -a "$OUT" >&2
-        FAILED+=("$name")
+        if [ "$status" = 124 ]; then
+          echo "run_all.sh: TIMED OUT: $name (> ${BENCH_TIMEOUT}s)" \
+            | tee -a "$OUT" >&2
+          FAILED+=("$name (timed out)")
+        else
+          echo "run_all.sh: FAILED: $name (exit $status)" | tee -a "$OUT" >&2
+          FAILED+=("$name")
+        fi
       fi
     fi
   done

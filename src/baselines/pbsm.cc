@@ -64,6 +64,10 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   if (r.tuples.empty() || s.tuples.empty()) {
     return Status::InvalidArgument("both join inputs must be non-empty");
   }
+  if (options.cancel.IsCancelled()) return options.cancel.ToStatus();
+  if (options.deadline.HasExpired()) {
+    return Status::DeadlineExceeded("job deadline expired before the join");
+  }
 
   Stopwatch driver;
   obs::TraceRecorder* const trace = options.trace;
@@ -126,6 +130,9 @@ Result<exec::JoinRun> PbsmDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.physical_threads = options.physical_threads;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.cancel = options.cancel;
+  engine_options.deadline = options.deadline;
+  engine_options.watchdog = options.watchdog;
   engine_options.bounds = mbr;
   engine_options.trace = trace;
 

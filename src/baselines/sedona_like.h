@@ -13,9 +13,11 @@
 
 #include <cstdint>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/engine.h"
+#include "exec/watchdog.h"
 #include "spatial/quadtree.h"
 
 namespace pasjoin::baselines {
@@ -54,6 +56,12 @@ struct SedonaOptions {
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// External cancellation token (docs/CANCELLATION.md).
+  CancellationToken cancel;
+  /// Wall-clock budget for the whole job (docs/CANCELLATION.md).
+  Deadline deadline;
+  /// Stuck-task watchdog policy, forwarded to the engine (exec/watchdog.h).
+  exec::WatchdogOptions watchdog;
   /// Execution trace sink (docs/OBSERVABILITY.md); null disables tracing at
   /// zero cost. Not owned.
   obs::TraceRecorder* trace = nullptr;

@@ -3,6 +3,14 @@
 
 namespace pasjoin {
 
+// -Wswitch (-Werror) already rejects a StatusCodeToString switch missing an
+// enumerator; this pin additionally fails the build when a new code is
+// appended without bumping kStatusCodeCount, so the exhaustiveness test in
+// tests/common/status_test.cc keeps iterating every real code.
+static_assert(static_cast<int>(StatusCode::kDeadlineExceeded) + 1 ==
+                  kStatusCodeCount,
+              "kStatusCodeCount must stay one past the last StatusCode");
+
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -19,6 +27,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

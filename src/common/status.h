@@ -27,7 +27,21 @@ enum class StatusCode : int {
   /// A bounded resource was exhausted (e.g. the task retry budget of the
   /// fault-tolerant engine, docs/FAULT_TOLERANCE.md).
   kResourceExhausted = 6,
+  /// The operation was cooperatively cancelled before completing (an
+  /// external CancellationToken or the engine's stuck-task watchdog,
+  /// docs/CANCELLATION.md). No partial results are visible.
+  kCancelled = 7,
+  /// The job's Deadline passed before the operation completed
+  /// (docs/CANCELLATION.md). No partial results are visible.
+  kDeadlineExceeded = 8,
 };
+
+/// One past the numerically largest StatusCode. Every code in
+/// [0, kStatusCodeCount) is valid; a static_assert in status.cc pins this to
+/// the last enumerator so StatusCodeToString coverage tests cannot go stale
+/// when a code is added (docs/STATIC_ANALYSIS.md).
+inline constexpr int kStatusCodeCount =
+    static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
 
 /// Returns a short human-readable name for a StatusCode ("OK", "IOError", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -75,6 +89,12 @@ class Status {
   }
   [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True when the operation succeeded.

@@ -132,6 +132,16 @@ inline constexpr int kNoMutexRank = -1;
 /// which interleaving actually ran. Gaps between values leave room for new
 /// locks; keep this table in sync with the one in docs/STATIC_ANALYSIS.md.
 namespace lockrank {
+/// common: CancellationState callback/wait list (common/cancellation.h).
+/// Isolated by construction: it is never held while acquiring another
+/// ranked lock (cancel callbacks run after it is released) and never
+/// acquired while holding one — the low rank documents that if it were
+/// ever nested it would have to come first.
+inline constexpr int kCancellationState = 40;
+/// exec::Watchdog heartbeat registry (exec/watchdog.h). The watchdog
+/// thread snapshots registered heartbeats under it and cancels them only
+/// after releasing it, so it nests with nothing.
+inline constexpr int kWatchdogRegistry = 60;
 /// exec engine: per-phase recovery state (retry/speculation bookkeeping).
 /// Outermost engine lock — held while submitting to the thread pool.
 inline constexpr int kEnginePhaseState = 100;

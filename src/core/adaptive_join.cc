@@ -22,6 +22,10 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   if (!(options.sample_rate > 0.0 && options.sample_rate <= 1.0)) {
     return Status::InvalidArgument("sample rate must be in (0, 1]");
   }
+  if (options.cancel.IsCancelled()) return options.cancel.ToStatus();
+  if (options.deadline.HasExpired()) {
+    return Status::DeadlineExceeded("job deadline expired before the join");
+  }
 
   Stopwatch driver;
   obs::TraceRecorder* const trace = options.trace;
@@ -104,6 +108,9 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   engine_options.physical_threads = options.physical_threads;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.cancel = options.cancel;
+  engine_options.deadline = options.deadline;
+  engine_options.watchdog = options.watchdog;
   // The grid partitions exactly `mbr`; declaring it as the engine's bounds
   // turns silently-clamped out-of-space points into a kInvalidArgument.
   engine_options.bounds = mbr;

@@ -18,9 +18,11 @@
 #include <cstdint>
 
 #include "agreements/agreement_graph.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/engine.h"
+#include "exec/watchdog.h"
 
 namespace pasjoin::core {
 
@@ -63,6 +65,15 @@ struct AdaptiveJoinOptions {
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// External cancellation token (docs/CANCELLATION.md). Checked before the
+  /// sequential construction steps and polled throughout the engine run; a
+  /// cancelled join returns the token's status with no partial results.
+  CancellationToken cancel;
+  /// Wall-clock budget for the whole job, covering driver construction and
+  /// the engine run (docs/CANCELLATION.md). Unlimited by default.
+  Deadline deadline;
+  /// Stuck-task watchdog policy, forwarded to the engine (exec/watchdog.h).
+  exec::WatchdogOptions watchdog;
   /// Execution trace sink (docs/OBSERVABILITY.md): adds driver spans for
   /// the construction steps (grid, sampling, agreement graph, placement)
   /// on top of the engine's phase/task/kernel spans. Null disables tracing

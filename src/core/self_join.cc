@@ -52,6 +52,10 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   if (data.tuples.empty()) {
     return Status::InvalidArgument("input must be non-empty");
   }
+  if (options.cancel.IsCancelled()) return options.cancel.ToStatus();
+  if (options.deadline.HasExpired()) {
+    return Status::DeadlineExceeded("job deadline expired before the join");
+  }
 
   Stopwatch driver;
   obs::TraceRecorder* const trace = options.trace;
@@ -93,6 +97,9 @@ Result<exec::JoinRun> SelfDistanceJoin(const Dataset& data,
   engine_options.self_join = true;
   engine_options.local_kernel = options.local_kernel;
   engine_options.fault = options.fault;
+  engine_options.cancel = options.cancel;
+  engine_options.deadline = options.deadline;
+  engine_options.watchdog = options.watchdog;
   engine_options.bounds = mbr;
   engine_options.trace = trace;
 

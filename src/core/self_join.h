@@ -10,9 +10,11 @@
 #ifndef PASJOIN_CORE_SELF_JOIN_H_
 #define PASJOIN_CORE_SELF_JOIN_H_
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/engine.h"
+#include "exec/watchdog.h"
 
 namespace pasjoin::core {
 
@@ -36,6 +38,12 @@ struct SelfJoinOptions {
   /// Fault injection + recovery policy, forwarded to the engine
   /// (docs/FAULT_TOLERANCE.md). Off by default.
   exec::FaultOptions fault;
+  /// External cancellation token (docs/CANCELLATION.md).
+  CancellationToken cancel;
+  /// Wall-clock budget for the whole job (docs/CANCELLATION.md).
+  Deadline deadline;
+  /// Stuck-task watchdog policy, forwarded to the engine (exec/watchdog.h).
+  exec::WatchdogOptions watchdog;
   /// Execution trace sink (docs/OBSERVABILITY.md); null disables tracing at
   /// zero cost. Not owned.
   obs::TraceRecorder* trace = nullptr;

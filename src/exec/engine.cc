@@ -14,6 +14,7 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -81,16 +82,23 @@ class PhaseClock {
 /// the whole phase gets a `phase_name` span on the driver track and every
 /// task a `task_name` span on its owning worker's track, wrapping exactly
 /// the region the PhaseClock stopwatch measures.
+///
+/// Cancellation: once `cancel` fires, queued tasks are dropped (or skip
+/// their body if already dequeued), running tasks drain, and the token's
+/// status is returned — the phase's outputs must then be discarded.
 template <typename Task, typename OwnerOf>
-void RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
-              OwnerOf&& owner_of, Task&& task,
-              obs::TraceRecorder* trace = nullptr,
-              const char* phase_name = "phase", const char* task_name = "task") {
+Status RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
+                OwnerOf&& owner_of, Task&& task,
+                obs::TraceRecorder* trace = nullptr,
+                const char* phase_name = "phase",
+                const char* task_name = "task",
+                const CancellationToken& cancel = CancellationToken()) {
   obs::ScopedSpan phase_span(trace, phase_name, "phase");
   phase_span.SetTrack(obs::kDriverTrack);
   phase_span.AddArg("tasks", count);
   for (int i = 0; i < count; ++i) {
-    pool->Submit([i, clock, trace, task_name, &owner_of, &task] {
+    pool->Submit([i, clock, trace, task_name, &owner_of, &task, &cancel] {
+      if (cancel.IsCancelled()) return;  // dequeued after the cancel
       const int w = owner_of(i);
       obs::ScopedTrack track_scope(trace, w);
       obs::ScopedSpan span(trace, task_name, "task");
@@ -100,7 +108,7 @@ void RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
       clock->Add(w, watch.ElapsedSeconds());
     });
   }
-  pool->Wait();
+  return pool->Wait(cancel);
 }
 
 struct PartitionBuffers {
@@ -192,11 +200,14 @@ namespace {
 
 /// Computes one map task: routes split `task % num_splits` of relation
 /// (task < num_splits ? R : S) to its destination workers. Idempotent — the
-/// input splits ("HDFS blocks") are always retained.
+/// input splits ("HDFS blocks") are always retained. Polls `cancel` every
+/// kKernelPollGrain tuples and returns a partial output once it fires (the
+/// caller discards it — cancelled attempts never publish).
 MapTaskOutput ComputeMapTask(int task, const Dataset& r, const Dataset& s,
                              const AssignFn& assign, const OwnerFn& owner,
                              const EngineOptions& options, int num_splits,
-                             int workers) {
+                             int workers,
+                             const spatial::KernelCancellation* cancel) {
   const bool is_r = task < num_splits;
   const int split = task % num_splits;
   const Side side = is_r ? Side::kR : Side::kS;
@@ -230,6 +241,15 @@ MapTaskOutput ComputeMapTask(int task, const Dataset& r, const Dataset& s,
       if (dest != src_worker) out.remote_bytes += bytes;
       out.by_worker[static_cast<size_t>(dest)].push_back(std::move(routed));
     }
+    if (cancel != nullptr &&
+        ((i - lo) & (spatial::kKernelPollGrain - 1)) ==
+            spatial::kKernelPollGrain - 1) {
+      cancel->Pulse(spatial::kKernelPollGrain);
+      if (cancel->ShouldStop()) return out;  // partial; caller discards
+    }
+  }
+  if (cancel != nullptr) {
+    cancel->Pulse((hi - lo) & (spatial::kKernelPollGrain - 1));
   }
   return out;
 }
@@ -277,15 +297,36 @@ void FaultInstant(obs::TraceRecorder* trace, const char* name, int32_t track,
   trace->Append(e);
 }
 
+/// Records one instant cancellation event ("cancel-abandon"); the
+/// trace_summary.py validator reconciles the count against the
+/// tasks_cancelled counter (docs/CANCELLATION.md).
+void CancelInstant(obs::TraceRecorder* trace, const char* name, int32_t track,
+                   const char* arg_name, int64_t arg_value) {
+  if (trace == nullptr) return;
+  obs::TraceEvent e;
+  e.name = name;
+  e.category = "cancel";
+  e.type = 'i';
+  e.start_ns = trace->NowNs();
+  e.track = track;
+  e.arg_names[0] = arg_name;
+  e.arg_values[0] = arg_value;
+  e.num_args = 1;
+  trace->Append(e);
+}
+
 /// Regroup body of the fault-tolerant path: gathers worker `w`'s inbound
 /// tuples by *copying* from the retained map outputs and records each
-/// partition's lineage (the contributing map tasks).
+/// partition's lineage (the contributing map tasks). Polls `cancel` between
+/// map outputs; a cancelled call leaves a partial store the caller discards.
 void BuildWorkerStoreRetained(int w, const std::vector<MapTaskOutput>& map_out,
-                              Store* store, WorkerLineage* lineage) {
+                              Store* store, WorkerLineage* lineage,
+                              const spatial::KernelCancellation* cancel) {
   for (size_t task = 0; task < map_out.size(); ++task) {
     const MapTaskOutput& out = map_out[task];
     if (out.by_worker.empty()) continue;
-    for (const Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+    const std::vector<Routed>& inbound = out.by_worker[static_cast<size_t>(w)];
+    for (const Routed& routed : inbound) {
       PartitionBuffers& buf = (*store)[routed.part];
       (routed.side == Side::kR ? buf.r : buf.s).push_back(routed.tuple);
       std::vector<int32_t>& contributors = (*lineage)[routed.part];
@@ -293,6 +334,10 @@ void BuildWorkerStoreRetained(int w, const std::vector<MapTaskOutput>& map_out,
           contributors.back() != static_cast<int32_t>(task)) {
         contributors.push_back(static_cast<int32_t>(task));
       }
+    }
+    if (cancel != nullptr) {
+      cancel->Pulse(inbound.size());
+      if (cancel->ShouldStop()) return;
     }
   }
 }
@@ -373,8 +418,8 @@ KernelDispatch ResolveKernel(const EngineOptions& options,
 /// into this worker's result vector. The self-join ordering filter runs as
 /// a batch pass over the partition's matches, not per pair.
 WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
-                                    bool keep_pairs,
-                                    obs::TraceRecorder* trace) {
+                                    bool keep_pairs, obs::TraceRecorder* trace,
+                                    const spatial::KernelCancellation* cancel) {
   WorkerJoinOutput out;
   const bool self_join = options.self_join;
   spatial::SoaPartition soa_r;
@@ -396,7 +441,7 @@ WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
       scratch.clear();
       out.counters +=
           spatial::SoaSweepJoin(soa_r, soa_s, options.eps, &scratch,
-                                &out.timings, trace);
+                                &out.timings, trace, cancel);
       Stopwatch filter_watch;
       for (const ResultPair& p : scratch) {
         if (p.r_id >= p.s_id) {
@@ -408,27 +453,37 @@ WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
       out.timings.emit_seconds += filter_watch.ElapsedSeconds();
     } else if (keep_pairs) {
       out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            &out.pairs, &out.timings, trace);
+                                            &out.pairs, &out.timings, trace,
+                                            cancel);
     } else {
       out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            nullptr, &out.timings, trace);
+                                            nullptr, &out.timings, trace,
+                                            cancel);
     }
     span.AddArg("candidates", static_cast<int64_t>(out.counters.candidates -
                                                    before.candidates));
     span.AddArg("results",
                 static_cast<int64_t>(out.counters.results - before.results));
+    if (cancel != nullptr) {
+      cancel->Pulse(1);  // partition boundary counts as progress too
+      if (cancel->ShouldStop()) return out;  // partial; caller discards
+    }
   }
   return out;
 }
 
 /// Joins every non-empty partition of `store`. May reorder buffer contents
 /// (the local join owns them) but never changes the produced multiset, so
-/// re-execution after a partial attempt is safe.
+/// re-execution after a partial attempt is safe. Cancellation granularity:
+/// the native SoA path polls inside the sweep (kKernelPollGrain pivots);
+/// type-erased kernels are polled between partitions only (their
+/// LocalJoinFn signature predates cancellation).
 WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
                                  const KernelDispatch& kernel, bool keep_pairs,
-                                 obs::TraceRecorder* trace) {
+                                 obs::TraceRecorder* trace,
+                                 const spatial::KernelCancellation* cancel) {
   if (kernel.use_soa) {
-    return JoinWorkerStoreSoa(store, options, keep_pairs, trace);
+    return JoinWorkerStoreSoa(store, options, keep_pairs, trace, cancel);
   }
   WorkerJoinOutput out;
   std::vector<ResultPair>* pairs = keep_pairs ? &out.pairs : nullptr;
@@ -457,17 +512,33 @@ WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
                                                    before.candidates));
     span.AddArg("results",
                 static_cast<int64_t>(out.counters.results - before.results));
+    if (cancel != nullptr) {
+      cancel->Pulse(out.counters.candidates - before.candidates + 1);
+      if (cancel->ShouldStop()) return out;  // partial; caller discards
+    }
   }
   return out;
 }
 
 /// Hash-partitions one worker's result pairs across `workers` dedup buckets.
+/// Polls `cancel` every kKernelPollGrain pairs (partial output on cancel).
 std::vector<std::vector<ResultPair>> ScatterWorkerPairs(
-    const std::vector<ResultPair>& pairs, int workers) {
+    const std::vector<ResultPair>& pairs, int workers,
+    const spatial::KernelCancellation* cancel) {
   std::vector<std::vector<ResultPair>> out(static_cast<size_t>(workers));
   const ResultPairHash hasher;
-  for (const ResultPair& p : pairs) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const ResultPair& p = pairs[i];
     out[hasher(p) % static_cast<size_t>(workers)].push_back(p);
+    if (cancel != nullptr &&
+        (i & (spatial::kKernelPollGrain - 1)) ==
+            spatial::kKernelPollGrain - 1) {
+      cancel->Pulse(spatial::kKernelPollGrain);
+      if (cancel->ShouldStop()) return out;
+    }
+  }
+  if (cancel != nullptr) {
+    cancel->Pulse(pairs.size() & (spatial::kKernelPollGrain - 1));
   }
   return out;
 }
@@ -478,15 +549,21 @@ struct DedupMergeOutput {
 };
 
 /// Removes duplicates in dedup bucket `w` across all source workers.
+/// Polls `cancel` between source workers (partial output on cancel).
 DedupMergeOutput MergeDedupBucket(
     const std::vector<std::vector<std::vector<ResultPair>>>& buckets, int w,
-    int workers, bool collect) {
+    int workers, bool collect, const spatial::KernelCancellation* cancel) {
   DedupMergeOutput out;
   std::unordered_set<ResultPair, ResultPairHash> seen;
   for (int src = 0; src < workers; ++src) {
-    for (const ResultPair& p :
-         buckets[static_cast<size_t>(src)][static_cast<size_t>(w)]) {
+    const std::vector<ResultPair>& bucket =
+        buckets[static_cast<size_t>(src)][static_cast<size_t>(w)];
+    for (const ResultPair& p : bucket) {
       if (seen.insert(p).second && collect) out.unique.push_back(p);
+    }
+    if (cancel != nullptr) {
+      cancel->Pulse(bucket.size() + 1);
+      if (cancel->ShouldStop()) break;
     }
   }
   out.count = seen.size();
@@ -559,6 +636,7 @@ Status ValidateJoinInputs(const Dataset& r, const Dataset& s,
     return Status::InvalidArgument("physical_threads must be >= 0");
   }
   PASJOIN_RETURN_NOT_OK(options.fault.Validate(options.workers));
+  PASJOIN_RETURN_NOT_OK(options.watchdog.Validate());
   PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(r, options.bounds));
   if (&r != &s) {
     PASJOIN_RETURN_NOT_OK(ValidateDatasetCoordinates(s, options.bounds));
@@ -570,9 +648,10 @@ Status ValidateJoinInputs(const Dataset& r, const Dataset& s,
 // Fast path: the original single-attempt execution.
 // ---------------------------------------------------------------------------
 
-JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
-                    const OwnerFn& owner, const EngineOptions& options,
-                    const LocalJoinFn& local_join) {
+Result<JoinRun> RunFastPath(const Dataset& r, const Dataset& s,
+                            const AssignFn& assign, const OwnerFn& owner,
+                            const EngineOptions& options,
+                            const LocalJoinFn& local_join) {
   const KernelDispatch kernel = ResolveKernel(options, local_join);
   obs::TraceRecorder* const trace = options.trace;
   // The job's integer observables accumulate in a counter registry — the
@@ -588,6 +667,13 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
       options.num_splits > 0 ? options.num_splits : 4 * workers;
   const int physical = options.physical_threads > 0 ? options.physical_threads
                                                     : ThreadPool::DefaultThreads();
+  // Destruction order matters: the pool is declared LAST so it drains its
+  // tasks first, then the watchdog thread joins, then the job source (which
+  // task tokens link to) goes away.
+  CancellationSource job_source(options.cancel);
+  const CancellationToken job_token = job_source.token();
+  Watchdog watchdog(options.watchdog, options.deadline, &job_source, trace);
+  const spatial::KernelCancellation job_cancel{&job_token, nullptr};
   ThreadPool pool(physical);
 
   JoinRun run;
@@ -602,10 +688,15 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   std::vector<MapTaskOutput> map_out(static_cast<size_t>(total_map_tasks));
   PhaseClock map_clock(workers);
   auto map_owner = [&](int task) { return (task % num_splits) % workers; };
-  RunPhase(&pool, total_map_tasks, &map_clock, map_owner, [&](int task) {
-    map_out[static_cast<size_t>(task)] =
-        ComputeMapTask(task, r, s, assign, owner, options, num_splits, workers);
-  }, trace, "phase-map", "map-task");
+  {
+    Status st = RunPhase(&pool, total_map_tasks, &map_clock, map_owner,
+                         [&](int task) {
+      map_out[static_cast<size_t>(task)] =
+          ComputeMapTask(task, r, s, assign, owner, options, num_splits,
+                         workers, &job_cancel);
+    }, trace, "phase-map", "map-task", job_token);
+    if (!st.ok()) return st;
+  }
   AccumulateMapMetrics(map_out, num_splits, reg);
 
   // ------------------------------------------------------------ regroup ---
@@ -613,18 +704,22 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   // fast path moves them out of the map outputs and frees the shuffle early.
   std::vector<Store> stores(static_cast<size_t>(workers));
   PhaseClock regroup_clock(workers);
-  RunPhase(&pool, workers, &regroup_clock, [](int w) { return w; }, [&](int w) {
-    Store& store = stores[static_cast<size_t>(w)];
-    for (MapTaskOutput& out : map_out) {
-      if (out.by_worker.empty()) continue;
-      for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
-        PartitionBuffers& buf = store[routed.part];
-        (routed.side == Side::kR ? buf.r : buf.s)
-            .push_back(std::move(routed.tuple));
+  {
+    Status st = RunPhase(&pool, workers, &regroup_clock,
+                         [](int w) { return w; }, [&](int w) {
+      Store& store = stores[static_cast<size_t>(w)];
+      for (MapTaskOutput& out : map_out) {
+        if (out.by_worker.empty()) continue;
+        for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+          PartitionBuffers& buf = store[routed.part];
+          (routed.side == Side::kR ? buf.r : buf.s)
+              .push_back(std::move(routed.tuple));
+        }
+        out.by_worker[static_cast<size_t>(w)].clear();
       }
-      out.by_worker[static_cast<size_t>(w)].clear();
-    }
-  }, trace, "phase-regroup", "regroup-task");
+    }, trace, "phase-regroup", "regroup-task", job_token);
+    if (!st.ok()) return st;
+  }
   map_out.clear();
   map_out.shrink_to_fit();
 
@@ -639,15 +734,20 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
   std::vector<spatial::KernelTimings> worker_timings(
       static_cast<size_t>(workers));
   PhaseClock join_clock(workers);
-  RunPhase(&pool, workers, &join_clock, [](int w) { return w; }, [&](int w) {
-    WorkerJoinOutput out = JoinWorkerStore(&stores[static_cast<size_t>(w)],
-                                           options, kernel, keep_pairs, trace);
-    worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
-    worker_counters[static_cast<size_t>(w)] = out.counters;
-    worker_partitions[static_cast<size_t>(w)] = out.partitions;
-    worker_filtered[static_cast<size_t>(w)] = out.filtered;
-    worker_timings[static_cast<size_t>(w)] = out.timings;
-  }, trace, "phase-join", "join-task");
+  {
+    Status st = RunPhase(&pool, workers, &join_clock,
+                         [](int w) { return w; }, [&](int w) {
+      WorkerJoinOutput out =
+          JoinWorkerStore(&stores[static_cast<size_t>(w)], options, kernel,
+                          keep_pairs, trace, &job_cancel);
+      worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
+      worker_counters[static_cast<size_t>(w)] = out.counters;
+      worker_partitions[static_cast<size_t>(w)] = out.partitions;
+      worker_filtered[static_cast<size_t>(w)] = out.filtered;
+      worker_timings[static_cast<size_t>(w)] = out.timings;
+    }, trace, "phase-join", "join-task", job_token);
+    if (!st.ok()) return st;
+  }
   m.local_kernel = kernel.name;
   {
     uint64_t candidates = 0;
@@ -680,22 +780,29 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
     std::vector<std::vector<std::vector<ResultPair>>> buckets(
         static_cast<size_t>(workers));
     PhaseClock scatter_clock(workers);
-    RunPhase(&pool, workers, &scatter_clock, [](int w) { return w; },
-             [&](int w) {
-               buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
-                   worker_pairs[static_cast<size_t>(w)], workers);
-             }, trace, "phase-dedup-scatter", "dedup-scatter-task");
+    {
+      Status st = RunPhase(&pool, workers, &scatter_clock,
+                           [](int w) { return w; }, [&](int w) {
+        buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
+            worker_pairs[static_cast<size_t>(w)], workers, &job_cancel);
+      }, trace, "phase-dedup-scatter", "dedup-scatter-task", job_token);
+      if (!st.ok()) return st;
+    }
     // Pair bytes crossing workers count as shuffle traffic.
     AccumulateDedupShuffle(buckets, workers, reg);
     std::vector<std::vector<ResultPair>> unique_pairs(
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
-    RunPhase(&pool, workers, &dedup_clock, [](int w) { return w; }, [&](int w) {
-      DedupMergeOutput out =
-          MergeDedupBucket(buckets, w, workers, options.collect_results);
-      unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
-      unique_counts[static_cast<size_t>(w)] = out.count;
-    }, trace, "phase-dedup-merge", "dedup-merge-task");
+    {
+      Status st = RunPhase(&pool, workers, &dedup_clock,
+                           [](int w) { return w; }, [&](int w) {
+        DedupMergeOutput out = MergeDedupBucket(
+            buckets, w, workers, options.collect_results, &job_cancel);
+        unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
+        unique_counts[static_cast<size_t>(w)] = out.count;
+      }, trace, "phase-dedup-merge", "dedup-merge-task", job_token);
+      if (!st.ok()) return st;
+    }
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
     uint64_t unique_total = 0;
     for (int w = 0; w < workers; ++w) {
@@ -713,11 +820,18 @@ JoinRun RunFastPath(const Dataset& r, const Dataset& s, const AssignFn& assign,
     }
   }
 
+  // A cancel/deadline that fired after the last phase drained still turns
+  // the run into an error — never publish results past a cancellation.
+  if (job_token.IsCancelled()) return job_token.ToStatus();
+
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
   SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
+  if (!options.deadline.unlimited()) {
+    m.deadline_slack_seconds = options.deadline.SecondsRemaining();
+  }
   if (trace != nullptr) PublishMetricGauges(m, reg);
   return run;
 }
@@ -731,15 +845,26 @@ struct FaultStats {
   uint64_t failed = 0;
   uint64_t retried = 0;
   uint64_t speculated = 0;
+  uint64_t cancelled = 0;
   double recovery_seconds = 0.0;
+};
+
+/// Per-attempt cancellation context handed to a task body: the attempt's
+/// token (fires on job cancellation, a sibling attempt's commit, or a
+/// watchdog stall verdict) and the heartbeat cell the body pulses from its
+/// batch loops. Bodies fold both into a spatial::KernelCancellation.
+struct TaskContext {
+  CancellationToken cancel;
+  std::atomic<uint64_t>* progress = nullptr;
 };
 
 /// What a task body returns: a commit closure that publishes the computed
 /// result into the phase's output slots. The runner calls it exactly once
 /// per task (first finisher wins), which keeps speculative execution
-/// duplicate-free.
+/// duplicate-free. A body cut short by its token returns a closure over
+/// PARTIAL state — the runner never publishes a cancelled attempt.
 using PublishFn = std::function<void()>;
-using TaskBody = std::function<PublishFn(int task)>;
+using TaskBody = std::function<PublishFn(int task, const TaskContext& ctx)>;
 
 /// One recoverable phase execution:
 ///   * every injected/real failure is retried (fresh attempt id, exponential
@@ -768,6 +893,7 @@ class RecoveringPhaseRunner {
                         const FaultInjector& injector, bool lose_here,
                         bool lost_active, int survivor, FaultStats* stats,
                         obs::TraceRecorder* trace, const char* task_name,
+                        const CancellationToken& job_token, Watchdog* watchdog,
                         const TaskBody& body)
       : pool_(pool),
         phase_(phase),
@@ -782,6 +908,8 @@ class RecoveringPhaseRunner {
         stats_(stats),
         trace_(trace),
         task_name_(task_name),
+        job_token_(job_token),
+        watchdog_(watchdog),
         body_(body) {
     states_.resize(static_cast<size_t>(count));
   }
@@ -793,6 +921,15 @@ class RecoveringPhaseRunner {
     for (int t = 0; t < count_; ++t) Launch(t, 0, 0.0, /*is_retry=*/false);
 
     while (committed_count_ < count_) {
+      // 0. Job-level cancellation (external token, deadline): stop driving,
+      //    adopt the token's status, drain below. In-flight attempts see
+      //    the same signal through their linked heartbeat tokens.
+      if (job_token_.IsCancelled()) {
+        aborted_ = true;
+        failure_ = job_token_.ToStatus();
+        break;
+      }
+
       // 1. Retry newly failed tasks (or give up once the budget is spent).
       for (int t = 0; t < count_; ++t) {
         TaskState& st = states_[static_cast<size_t>(t)];
@@ -856,6 +993,7 @@ class RecoveringPhaseRunner {
     stats_->failed += failed_;
     stats_->retried += retried_;
     stats_->speculated += speculated_;
+    stats_->cancelled += cancelled_;
     stats_->recovery_seconds += recovery_seconds_;
     if (aborted_) return failure_;
     return Status::OK();
@@ -874,7 +1012,19 @@ class RecoveringPhaseRunner {
     /// executing (-1 while queued); drives the speculation threshold.
     double started_at = -1.0;
     std::string last_error;
+    /// Heartbeats of currently-executing attempts of this task. The winner
+    /// cancels the other entries after committing (speculation losers stop
+    /// at their next poll instead of running to completion).
+    std::vector<std::shared_ptr<TaskHeartbeat>> live;
   };
+
+  /// Drops `hb` from `st.live` (no-op for null / already-removed).
+  static void RemoveLive(TaskState& st,
+                         const std::shared_ptr<TaskHeartbeat>& hb) {
+    if (hb == nullptr) return;
+    st.live.erase(std::remove(st.live.begin(), st.live.end(), hb),
+                  st.live.end());
+  }
 
   /// Logical worker an attempt of `task` is attributed to (the failover
   /// neighbor once the owner has been lost).
@@ -901,9 +1051,19 @@ class RecoveringPhaseRunner {
       PASJOIN_EXCLUDES(mu_) {
     if (backoff_seconds > 0.0) {
       FaultInstant(trace_, "fault-backoff", obs::kDriverTrack, "task", task);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(backoff_seconds));
+      // Interruptible backoff: a job-level cancel wakes the sleeper instead
+      // of letting it burn the remaining backoff.
+      if (job_token_.WaitForCancellation(backoff_seconds)) {
+        AbandonAttempt(task, nullptr);
+        return;
+      }
     }
+    if (job_token_.IsCancelled()) {
+      // Dequeued after a job cancel (or deadline): never start the body.
+      AbandonAttempt(task, nullptr);
+      return;
+    }
+    std::shared_ptr<TaskHeartbeat> heartbeat;
     {
       MutexLock lock(&mu_);
       TaskState& ts = states_[static_cast<size_t>(task)];
@@ -913,7 +1073,14 @@ class RecoveringPhaseRunner {
         return;
       }
       if (ts.started_at < 0.0) ts.started_at = phase_watch_.ElapsedSeconds();
+      heartbeat =
+          std::make_shared<TaskHeartbeat>(job_token_, task_name_, task);
+      ts.live.push_back(heartbeat);
     }
+    // Register only now that the attempt is actually executing — queue wait
+    // must not count against the watchdog's quiet period. Outside mu_: the
+    // registry lock ranks below the phase-state lock.
+    if (watchdog_ != nullptr) watchdog_->Register(heartbeat);
     // The attempt span wraps the same region as the attempt stopwatch and
     // lands on the attributed worker's track; kernel spans opened inside
     // `body` inherit the track. Failed and losing speculative attempts
@@ -936,24 +1103,66 @@ class RecoveringPhaseRunner {
       error = "injected fault";
     } else {
       if (injector_.IsStraggler(phase_, task, attempt)) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            injector_.StragglerDelaySeconds()));
-        MutexLock lock(&mu_);
-        if (states_[static_cast<size_t>(task)].committed) {
+        // Interruptible straggler delay: wakes early when the attempt's
+        // token fires — a job cancel, a sibling attempt's commit, or the
+        // watchdog's stall verdict (the heartbeat stays flat while the
+        // straggler sleeps, which is exactly the stall signature).
+        const bool token_fired = heartbeat->token().WaitForCancellation(
+            injector_.StragglerDelaySeconds());
+        bool committed_while_sleeping = false;
+        {
+          MutexLock lock(&mu_);
+          committed_while_sleeping =
+              states_[static_cast<size_t>(task)].committed;
+        }
+        if (committed_while_sleeping) {
           // A speculative backup finished while this straggler slept.
           attempt_span.AddArg("committed", 0);
-          FinishAttempt(task);
+          RetireAttempt(task, heartbeat);
           return;
         }
+        if (token_fired) {
+          if (job_token_.IsCancelled()) {
+            attempt_span.AddArg("committed", 0);
+            AbandonAttempt(task, heartbeat);
+            return;
+          }
+          // Watchdog stall verdict: treat as a task failure so the normal
+          // recovery machinery re-executes from lineage (stragglers only
+          // fire on attempt 0, so the retry runs clean).
+          failed = true;
+          error = heartbeat->token().ToStatus().message();
+        }
       }
-      try {
-        publish = body_(task);
-      } catch (const std::exception& e) {
-        failed = true;
-        error = e.what();
-      } catch (...) {
-        failed = true;
-        error = "unknown exception";
+      if (!failed) {
+        TaskContext ctx;
+        ctx.cancel = heartbeat->token();
+        ctx.progress = heartbeat->cell();
+        try {
+          publish = body_(task, ctx);
+        } catch (const std::exception& e) {
+          failed = true;
+          error = e.what();
+        } catch (...) {
+          failed = true;
+          error = "unknown exception";
+        }
+        if (!failed && heartbeat->token().IsCancelled()) {
+          // The token fired mid-body and cut it short: whatever closure the
+          // body returned covers partial state and must never run.
+          publish = nullptr;
+          if (job_token_.IsCancelled()) {
+            attempt_span.AddArg("committed", 0);
+            AbandonAttempt(task, heartbeat);
+            return;
+          }
+          MutexLock lock(&mu_);
+          if (!states_[static_cast<size_t>(task)].committed) {
+            // Not a sibling commit, so it was the watchdog: fail -> retry.
+            failed = true;
+            error = heartbeat->token().ToStatus().message();
+          }
+        }
       }
     }
     bool winner = false;
@@ -973,6 +1182,13 @@ class RecoveringPhaseRunner {
     if (failed) {
       FaultInstant(trace_, "fault-failure", attributed, "task", task);
     }
+    std::vector<std::shared_ptr<TaskHeartbeat>> siblings;
+    // FinishAttempt() below wakes the driver loop, which may return from
+    // the phase and destroy this runner before this thread executes
+    // another instruction — everything after the block must touch only
+    // locals and objects that outlive the pool workers (the watchdog, the
+    // heartbeats' shared state), never `this`.
+    Watchdog* const watchdog = watchdog_;
     {
       MutexLock lock(&mu_);
       TaskState& ts = states_[static_cast<size_t>(task)];
@@ -980,6 +1196,9 @@ class RecoveringPhaseRunner {
         ts.committed = true;
         committed_count_++;
         committed_durations_.push_back(attempt_watch.ElapsedSeconds());
+        for (const std::shared_ptr<TaskHeartbeat>& other : ts.live) {
+          if (other != heartbeat) siblings.push_back(other);
+        }
       }
       if (failed) {
         ts.failures++;
@@ -989,8 +1208,55 @@ class RecoveringPhaseRunner {
       if (is_retry) {
         recovery_seconds_ += backoff_seconds + attempt_watch.ElapsedSeconds();
       }
+      RemoveLive(ts, heartbeat);
       FinishAttempt(task);
     }
+    if (watchdog != nullptr) watchdog->Unregister(heartbeat);
+    // The winner interrupts still-running sibling attempts (speculation
+    // losers, or the straggler a backup beat): each stops at its next poll
+    // instead of finishing work whose result can never commit. Cancelled
+    // outside every lock (rank kCancellationState nests with nothing).
+    for (const std::shared_ptr<TaskHeartbeat>& other : siblings) {
+      other->Cancel(StatusCode::kCancelled, "sibling attempt committed");
+    }
+  }
+
+  /// Retires an attempt that has nothing left to do (its task committed).
+  void RetireAttempt(int task, const std::shared_ptr<TaskHeartbeat>& heartbeat)
+      PASJOIN_EXCLUDES(mu_) {
+    // The runner may be destroyed the moment FinishAttempt() wakes the
+    // driver; only locals below the block.
+    Watchdog* const watchdog = watchdog_;
+    {
+      MutexLock lock(&mu_);
+      RemoveLive(states_[static_cast<size_t>(task)], heartbeat);
+      FinishAttempt(task);
+    }
+    if (watchdog != nullptr && heartbeat != nullptr) {
+      watchdog->Unregister(heartbeat);
+    }
+  }
+
+  /// Retires an attempt abandoned because the JOB was cancelled. Each
+  /// abandonment is counted once in tasks_cancelled and traced as one
+  /// "cancel-abandon" instant — trace_summary.py reconciles the two.
+  void AbandonAttempt(int task, const std::shared_ptr<TaskHeartbeat>& heartbeat)
+      PASJOIN_EXCLUDES(mu_) {
+    // The runner may be destroyed the moment FinishAttempt() wakes the
+    // driver; only locals below the block. The recorder and the watchdog
+    // are engine-scope objects that outlive every pool worker.
+    Watchdog* const watchdog = watchdog_;
+    obs::TraceRecorder* const trace = trace_;
+    {
+      MutexLock lock(&mu_);
+      cancelled_++;
+      RemoveLive(states_[static_cast<size_t>(task)], heartbeat);
+      FinishAttempt(task);
+    }
+    if (watchdog != nullptr && heartbeat != nullptr) {
+      watchdog->Unregister(heartbeat);
+    }
+    CancelInstant(trace, "cancel-abandon", obs::kDriverTrack, "task", task);
   }
 
   /// Retires one attempt and wakes the driver loop.
@@ -1013,6 +1279,8 @@ class RecoveringPhaseRunner {
   FaultStats* const stats_;
   obs::TraceRecorder* const trace_;
   const char* const task_name_;
+  const CancellationToken job_token_;
+  Watchdog* const watchdog_;
   const TaskBody& body_;
   const Stopwatch phase_watch_;
 
@@ -1027,6 +1295,7 @@ class RecoveringPhaseRunner {
   uint64_t failed_ PASJOIN_GUARDED_BY(mu_) = 0;
   uint64_t retried_ PASJOIN_GUARDED_BY(mu_) = 0;
   uint64_t speculated_ PASJOIN_GUARDED_BY(mu_) = 0;
+  uint64_t cancelled_ PASJOIN_GUARDED_BY(mu_) = 0;
   double recovery_seconds_ PASJOIN_GUARDED_BY(mu_) = 0.0;
 };
 
@@ -1038,7 +1307,8 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
                           const FaultInjector& injector, bool* worker_lost,
                           FaultStats* stats, obs::TraceRecorder* trace,
                           const char* phase_name, const char* task_name,
-                          const TaskBody& body) {
+                          const CancellationToken& job_token,
+                          Watchdog* watchdog, const TaskBody& body) {
   if (count <= 0) return Status::OK();
   obs::ScopedSpan phase_span(trace, phase_name, "phase");
   phase_span.SetTrack(obs::kDriverTrack);
@@ -1055,7 +1325,7 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
       (lost >= 0 && workers >= 2) ? (lost + 1) % workers : -1;
   RecoveringPhaseRunner runner(pool, phase, count, clock, owner_of, injector,
                                lose_here, lost_active, survivor, stats, trace,
-                               task_name, body);
+                               task_name, job_token, watchdog, body);
   return runner.Run();
 }
 
@@ -1093,6 +1363,12 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       options.num_splits > 0 ? options.num_splits : 4 * workers;
   const int physical = options.physical_threads > 0 ? options.physical_threads
                                                     : ThreadPool::DefaultThreads();
+  // Destruction order matters: the pool is declared last so it drains its
+  // tasks first, then the watchdog thread joins, then the job source (which
+  // every attempt heartbeat links to) goes away.
+  CancellationSource job_source(options.cancel);
+  const CancellationToken job_token = job_source.token();
+  Watchdog watchdog(options.watchdog, options.deadline, &job_source, trace);
   ThreadPool pool(physical);
   FaultInjector injector(options.fault);
   bool worker_lost = false;
@@ -1117,17 +1393,18 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     return (task % num_splits) % workers;
   };
   {
-    const TaskBody body = [&](int task) -> PublishFn {
+    const TaskBody body = [&](int task, const TaskContext& ctx) -> PublishFn {
+      const spatial::KernelCancellation kc{&ctx.cancel, ctx.progress};
       auto out = std::make_shared<MapTaskOutput>(ComputeMapTask(
-          task, r, s, assign, owner, options, num_splits, workers));
+          task, r, s, assign, owner, options, num_splits, workers, &kc));
       return [out, task, &map_out] {
         map_out[static_cast<size_t>(task)] = std::move(*out);
       };
     };
-    Status st =
-        RunRecoveringPhase(&pool, Phase::kMap, total_map_tasks, workers,
-                           &map_clock, map_owner, injector, &worker_lost,
-                           &stats, trace, "phase-map", "map-task", body);
+    Status st = RunRecoveringPhase(&pool, Phase::kMap, total_map_tasks,
+                                   workers, &map_clock, map_owner, injector,
+                                   &worker_lost, &stats, trace, "phase-map",
+                                   "map-task", job_token, &watchdog, body);
     if (!st.ok()) return st;
   }
   AccumulateMapMetrics(map_out, num_splits, reg);
@@ -1140,10 +1417,11 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   PhaseClock regroup_clock(workers);
   const std::function<int(int)> identity = [](int w) { return w; };
   {
-    const TaskBody body = [&](int w) -> PublishFn {
+    const TaskBody body = [&](int w, const TaskContext& ctx) -> PublishFn {
+      const spatial::KernelCancellation kc{&ctx.cancel, ctx.progress};
       auto store = std::make_shared<Store>();
       auto lineage = std::make_shared<WorkerLineage>();
-      BuildWorkerStoreRetained(w, map_out, store.get(), lineage.get());
+      BuildWorkerStoreRetained(w, map_out, store.get(), lineage.get(), &kc);
       return [&, w, store, lineage] {
         WorkerStoreSlot& slot = slots[static_cast<size_t>(w)];
         MutexLock lock(&slot.mu);
@@ -1155,7 +1433,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     Status st = RunRecoveringPhase(&pool, Phase::kRegroup, workers, workers,
                                    &regroup_clock, identity, injector,
                                    &worker_lost, &stats, trace,
-                                   "phase-regroup", "regroup-task", body);
+                                   "phase-regroup", "regroup-task", job_token,
+                                   &watchdog, body);
     if (!st.ok()) return st;
   }
 
@@ -1180,7 +1459,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
       static_cast<size_t>(workers));
   PhaseClock join_clock(workers);
   {
-    const TaskBody body = [&](int w) -> PublishFn {
+    const TaskBody body = [&](int w, const TaskContext& ctx) -> PublishFn {
+      const spatial::KernelCancellation kc{&ctx.cancel, ctx.progress};
       auto out = std::make_shared<WorkerJoinOutput>();
       {
         WorkerStoreSlot& slot = slots[static_cast<size_t>(w)];
@@ -1194,7 +1474,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
           MutexLock stats_lock(&rebuild_stats.mu);
           rebuild_stats.seconds += rebuild.ElapsedSeconds();
         }
-        *out = JoinWorkerStore(&slot.store, options, kernel, keep_pairs, trace);
+        *out = JoinWorkerStore(&slot.store, options, kernel, keep_pairs,
+                               trace, &kc);
       }
       return [&, w, out] {
         worker_pairs[static_cast<size_t>(w)] = std::move(out->pairs);
@@ -1207,7 +1488,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     Status st = RunRecoveringPhase(&pool, Phase::kJoin, workers, workers,
                                    &join_clock, identity, injector,
                                    &worker_lost, &stats, trace, "phase-join",
-                                   "join-task", body);
+                                   "join-task", job_token, &watchdog, body);
     if (!st.ok()) return st;
   }
   m.local_kernel = kernel.name;
@@ -1245,9 +1526,11 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
         static_cast<size_t>(workers));
     PhaseClock scatter_clock(workers);
     {
-      const TaskBody body = [&](int w) -> PublishFn {
+      const TaskBody body = [&](int w, const TaskContext& ctx) -> PublishFn {
+        const spatial::KernelCancellation kc{&ctx.cancel, ctx.progress};
         auto out = std::make_shared<std::vector<std::vector<ResultPair>>>(
-            ScatterWorkerPairs(worker_pairs[static_cast<size_t>(w)], workers));
+            ScatterWorkerPairs(worker_pairs[static_cast<size_t>(w)], workers,
+                               &kc));
         return [&, w, out] {
           buckets[static_cast<size_t>(w)] = std::move(*out);
         };
@@ -1256,7 +1539,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                      workers, &scatter_clock, identity,
                                      injector, &worker_lost, &stats, trace,
                                      "phase-dedup-scatter",
-                                     "dedup-scatter-task", body);
+                                     "dedup-scatter-task", job_token,
+                                     &watchdog, body);
       if (!st.ok()) return st;
     }
     AccumulateDedupShuffle(buckets, workers, reg);
@@ -1264,9 +1548,10 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
     {
-      const TaskBody body = [&](int w) -> PublishFn {
-        auto out = std::make_shared<DedupMergeOutput>(
-            MergeDedupBucket(buckets, w, workers, options.collect_results));
+      const TaskBody body = [&](int w, const TaskContext& ctx) -> PublishFn {
+        const spatial::KernelCancellation kc{&ctx.cancel, ctx.progress};
+        auto out = std::make_shared<DedupMergeOutput>(MergeDedupBucket(
+            buckets, w, workers, options.collect_results, &kc));
         return [&, w, out] {
           unique_pairs[static_cast<size_t>(w)] = std::move(out->unique);
           unique_counts[static_cast<size_t>(w)] = out->count;
@@ -1276,7 +1561,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                      workers, &dedup_clock, identity, injector,
                                      &worker_lost, &stats, trace,
                                      "phase-dedup-merge", "dedup-merge-task",
-                                     body);
+                                     job_token, &watchdog, body);
       if (!st.ok()) return st;
     }
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
@@ -1296,18 +1581,28 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     }
   }
 
+  // A cancellation that fired after the last phase finished (e.g. the
+  // deadline expired during the single-threaded fold above) still aborts
+  // the job: nothing is ever published from a cancelled run.
+  if (job_token.IsCancelled()) return job_token.ToStatus();
+
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
   reg->Add("tasks_failed", stats.failed);
   reg->Add("tasks_retried", stats.retried);
   reg->Add("tasks_speculated", stats.speculated);
+  reg->Add("tasks_cancelled", stats.cancelled);
+  reg->Add("watchdog_fires", watchdog.fires());
   {
     MutexLock lock(&rebuild_stats.mu);
     m.recovery_seconds = stats.recovery_seconds + rebuild_stats.seconds;
   }
   SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
+  if (!options.deadline.unlimited()) {
+    m.deadline_slack_seconds = options.deadline.SecondsRemaining();
+  }
   if (trace != nullptr) PublishMetricGauges(m, reg);
   return run;
 }
@@ -1322,6 +1617,11 @@ Result<JoinRun> TryRunPartitionedJoin(const Dataset& r, const Dataset& s,
   {
     Status st = ValidateJoinInputs(r, s, options);
     if (!st.ok()) return st;
+  }
+  if (options.cancel.IsCancelled()) return options.cancel.ToStatus();
+  if (options.deadline.HasExpired()) {
+    return Status::DeadlineExceeded(
+        "job deadline expired before execution started");
   }
   if (options.fault.enabled) {
     return RunFaultTolerant(r, s, assign, owner, options, local_join);

@@ -31,11 +31,13 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/small_vector.h"
 #include "common/status.h"
 #include "common/tuple.h"
 #include "exec/fault_injector.h"
 #include "exec/metrics.h"
+#include "exec/watchdog.h"
 #include "obs/trace_recorder.h"
 #include "spatial/local_join.h"
 
@@ -123,6 +125,22 @@ struct EngineOptions {
   /// kernel's sort/sweep/emit phases, and fault-recovery events, and folds
   /// the job's counters into trace->counters(). Not owned.
   obs::TraceRecorder* trace = nullptr;
+  /// External cancellation (docs/CANCELLATION.md). A default token never
+  /// cancels (zero cost); pass CancellationSource::token() to be able to
+  /// abort the job from another thread. A cancelled run returns the
+  /// token's status (kCancelled unless the canceller chose another code)
+  /// and publishes NO partial results.
+  CancellationToken cancel;
+  /// Wall-clock budget for the whole job (docs/CANCELLATION.md). Unlimited
+  /// by default; when set, the run returns kDeadlineExceeded shortly after
+  /// the deadline passes (firing latency is bounded by
+  /// watchdog.poll_interval_seconds), again with no partial results. On
+  /// success, JobMetrics::deadline_slack_seconds records the margin.
+  Deadline deadline;
+  /// Stuck-task watchdog (exec/watchdog.h). `watchdog.enabled` turns on
+  /// stall detection of fault-tolerant task attempts; deadlines above are
+  /// enforced whether or not it is enabled.
+  WatchdogOptions watchdog;
 };
 
 /// Outcome of a partitioned join run.
@@ -144,7 +162,11 @@ struct JoinRun {
 /// tasks are backed up speculatively; the recovered result is identical to a
 /// fault-free run. Returns kResourceExhausted when a task exhausts its retry
 /// budget and kInternal when a task of the fast path throws — this function
-/// never throws from the engine itself.
+/// never throws from the engine itself. Cancellation (options.cancel) and
+/// deadlines (options.deadline) surface as kCancelled / kDeadlineExceeded;
+/// in every error case nothing is published to the returned JoinRun — a
+/// caller either gets the complete, exact join result or an error
+/// (docs/CANCELLATION.md).
 ///
 /// When `local_join` is empty (the default), the engine selects the kernel
 /// from `options.local_kernel`; a non-empty LocalJoinFn overrides the

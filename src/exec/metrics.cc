@@ -2,6 +2,7 @@
 #include "exec/metrics.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <vector>
@@ -69,6 +70,13 @@ std::string JobMetrics::ToString() const {
             " recovery=%.3fs",
             tasks_failed, tasks_retried, tasks_speculated, recovery_seconds);
   }
+  if (tasks_cancelled > 0 || watchdog_fires > 0) {
+    AppendF(&out, " cancelled=%" PRIu64 " watchdog_fires=%" PRIu64,
+            tasks_cancelled, watchdog_fires);
+  }
+  if (std::isfinite(deadline_slack_seconds)) {
+    AppendF(&out, " deadline_slack=%.3fs", deadline_slack_seconds);
+  }
   return out;
 }
 
@@ -85,6 +93,8 @@ void SnapshotCounters(const obs::CounterRegistry& registry,
   metrics->tasks_failed = registry.Get("tasks_failed");
   metrics->tasks_retried = registry.Get("tasks_retried");
   metrics->tasks_speculated = registry.Get("tasks_speculated");
+  metrics->tasks_cancelled = registry.Get("tasks_cancelled");
+  metrics->watchdog_fires = registry.Get("watchdog_fires");
 }
 
 void PublishMetricGauges(const JobMetrics& metrics,
@@ -95,6 +105,11 @@ void PublishMetricGauges(const JobMetrics& metrics,
   registry->SetGauge("total_seconds", metrics.TotalSeconds());
   registry->SetGauge("wall_seconds", metrics.wall_seconds);
   registry->SetGauge("recovery_seconds", metrics.recovery_seconds);
+  // +infinity means "no deadline" and is not representable in the JSON
+  // trace; only a real slack is published.
+  if (std::isfinite(metrics.deadline_slack_seconds)) {
+    registry->SetGauge("deadline_slack_seconds", metrics.deadline_slack_seconds);
+  }
   registry->SetGauge("kernel_sort_seconds", metrics.kernel_sort_seconds);
   registry->SetGauge("kernel_sweep_seconds", metrics.kernel_sweep_seconds);
   registry->SetGauge("kernel_emit_seconds", metrics.kernel_emit_seconds);

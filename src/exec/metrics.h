@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,17 @@ struct JobMetrics {
   /// Wall-clock seconds spent recovering: backoff waits, re-executions, and
   /// lineage-based partition rebuilds after a worker loss.
   double recovery_seconds = 0.0;
+
+  // --- cancellation + deadlines (docs/CANCELLATION.md) ---------------------
+  /// Task attempts abandoned because the job was cancelled (external token,
+  /// deadline) — NOT failures: an abandoned attempt never consumed a retry.
+  uint64_t tasks_cancelled = 0;
+  /// Times the stuck-task watchdog cancelled a stalled attempt. Each fire
+  /// fails exactly that attempt; the recovery runner retries it normally.
+  uint64_t watchdog_fires = 0;
+  /// Seconds left on the job deadline when the run finished; +infinity when
+  /// no deadline was set (check std::isfinite before printing/serializing).
+  double deadline_slack_seconds = std::numeric_limits<double>::infinity();
 
   /// Per-logical-worker attributed busy seconds of the join phase (used to
   /// study LPT load balance, Table 7).

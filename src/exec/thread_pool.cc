@@ -2,11 +2,37 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace pasjoin::exec {
+
+namespace {
+
+/// Rethrows the captured task failures the way Wait() documents: a single
+/// failure rethrows unchanged, several aggregate into a runtime_error.
+[[noreturn]] void ThrowTaskErrors(std::exception_ptr error, size_t count) {
+  if (count == 1) std::rethrow_exception(error);
+  std::string first_message = "unknown exception";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    first_message = e.what();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Non-std exception: keep the placeholder message.
+  }
+  throw std::runtime_error(std::to_string(count) +
+                           " tasks failed; first: " + first_message);
+}
+
+/// Cadence of the cancellation re-check in Wait(token). Purely an upper
+/// bound on cancellation latency: completion still wakes the waiter
+/// immediately via all_done_.
+constexpr std::chrono::milliseconds kCancelPollInterval{5};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   PASJOIN_CHECK(num_threads >= 1);
@@ -43,19 +69,37 @@ void ThreadPool::Wait() {
     error = std::exchange(first_error_, nullptr);
     count = std::exchange(error_count_, 0);
   }
-  if (!error) return;
-  if (count == 1) std::rethrow_exception(error);
-  // Several tasks failed: aggregate instead of silently dropping the rest.
-  std::string first_message = "unknown exception";
-  try {
-    std::rethrow_exception(error);
-  } catch (const std::exception& e) {
-    first_message = e.what();
-  } catch (...) {  // NOLINT(bugprone-empty-catch)
-    // Non-std exception: keep the placeholder message.
+  if (error) ThrowTaskErrors(std::move(error), count);
+}
+
+Status ThreadPool::Wait(const CancellationToken& cancel) {
+  if (!cancel.CanBeCancelled()) {
+    Wait();
+    return Status::OK();
   }
-  throw std::runtime_error(std::to_string(count) +
-                           " tasks failed; first: " + first_message);
+  std::exception_ptr error;
+  size_t count = 0;
+  bool cancelled = false;
+  {
+    MutexLock lock(&mu_);
+    while (!(queue_.empty() && in_flight_ == 0)) {
+      if (!cancelled && cancel.IsCancelled()) {
+        cancelled = true;
+        // Drop queued-but-unstarted tasks; running ones drain below (they
+        // see the same token at their own poll points).
+        queue_.clear();
+        continue;
+      }
+      // Timed wait so an external cancellation is noticed without any
+      // notification channel into this pool (the token has no handle on
+      // all_done_); completion itself still wakes us immediately.
+      all_done_.WaitFor(&mu_, kCancelPollInterval);
+    }
+    error = std::exchange(first_error_, nullptr);
+    count = std::exchange(error_count_, 0);
+  }
+  if (error) ThrowTaskErrors(std::move(error), count);
+  return cancelled ? cancel.ToStatus() : Status::OK();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,7 +107,12 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
-      while (!shutting_down_ && queue_.empty()) task_available_.Wait(&mu_);
+      // Timed idle wait: a missed notification (or a state transition added
+      // without one) degrades to bounded latency instead of a hang — the
+      // hang-detection CI lane relies on queue waits being interruptible.
+      while (!shutting_down_ && queue_.empty()) {
+        task_available_.WaitFor(&mu_, std::chrono::milliseconds(100));
+      }
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;

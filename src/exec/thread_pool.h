@@ -13,7 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/macros.h"
+#include "common/status.h"
 #include "common/sync.h"
 
 namespace pasjoin::exec {
@@ -28,9 +30,15 @@ class ThreadPool {
   /// Creates `num_threads` threads (>= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains the queue, joins all workers. Any still-pending task runs to
-  /// completion first; a captured task exception that was never observed via
-  /// Wait() is dropped (destructors must not throw).
+  /// Drains the queue, joins all workers.
+  ///
+  /// Destruction is a DRAIN, not an abandonment: every task submitted
+  /// before the destructor runs — including tasks still queued, never
+  /// started — executes to completion first (tested in
+  /// tests/exec/thread_pool_test.cc). Tasks that must not run after a
+  /// cancellation have to check their token themselves, or be dropped
+  /// beforehand via Wait(token). A captured task exception that was never
+  /// observed via Wait() is dropped (destructors must not throw).
   ~ThreadPool();
 
   PASJOIN_DISALLOW_COPY(ThreadPool);
@@ -46,6 +54,21 @@ class ThreadPool {
   /// several threw, throws a std::runtime_error carrying the failure count
   /// and the first captured message (no failure is silently dropped).
   void Wait() PASJOIN_EXCLUDES(mu_);
+
+  /// Cancel-aware Wait: blocks until every submitted task has finished OR
+  /// `cancel` fires. On cancellation, queued-but-unstarted tasks are
+  /// DROPPED (they never run), already-running tasks are drained to
+  /// completion (they observe the same token at their own poll points),
+  /// and the token's status (kCancelled / kDeadlineExceeded) is returned.
+  /// Task exceptions are reported exactly like Wait() — rethrown even when
+  /// the wait was cancelled. Returns OK when all tasks completed.
+  ///
+  /// Only for callers whose per-task completion accounting does not
+  /// outlive the drop: the engine's RecoveringPhaseRunner tracks every
+  /// attempt itself and must never use this (a dropped task would leak an
+  /// in-flight attempt record).
+  [[nodiscard]] Status Wait(const CancellationToken& cancel)
+      PASJOIN_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 

@@ -30,6 +30,7 @@
 #include "agreements/dot_export.h"        // IWYU pragma: export
 #include "baselines/pbsm.h"               // IWYU pragma: export
 #include "baselines/sedona_like.h"        // IWYU pragma: export
+#include "common/cancellation.h"          // IWYU pragma: export
 #include "common/geometry.h"              // IWYU pragma: export
 #include "common/rng.h"                   // IWYU pragma: export
 #include "common/small_vector.h"          // IWYU pragma: export

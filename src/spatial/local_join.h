@@ -11,13 +11,44 @@
 #define PASJOIN_SPATIAL_LOCAL_JOIN_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/tuple.h"
 
 namespace pasjoin::spatial {
+
+/// Cooperative cancellation + progress hook for the partition kernels
+/// (docs/CANCELLATION.md). Both members are optional: a null token never
+/// stops, a null progress cell records nothing, and passing no
+/// KernelCancellation at all keeps a kernel on its original zero-overhead
+/// path. Kernels poll at batch granularity (kKernelPollGrain inner-loop
+/// steps between checks, at most one extra branch per emission batch) and
+/// return early with PARTIAL counters once the token fires — callers must
+/// discard a cancelled kernel's counters and output.
+struct KernelCancellation {
+  /// Polled stop signal; null = not cancellable.
+  const CancellationToken* token = nullptr;
+  /// Progress heartbeat cell bumped by `Pulse` (exec::TaskHeartbeat::cell());
+  /// null = no heartbeat. Relaxed adds: the watchdog only compares values.
+  std::atomic<uint64_t>* progress = nullptr;
+
+  bool ShouldStop() const { return token != nullptr && token->IsCancelled(); }
+
+  /// Records `units` of forward progress (candidate pairs inspected).
+  void Pulse(uint64_t units) const {
+    if (progress != nullptr) {
+      progress->fetch_add(units, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Inner-loop steps a kernel may take between cancellation polls. Matches
+/// the sweep kernel's emission batch so the poll shares its cadence.
+inline constexpr uint64_t kKernelPollGrain = 1024;
 
 /// Selects the partition-level join kernel the engine runs after the
 /// shuffle (plumbed through every driver; see docs/ALGORITHM.md §"Local
@@ -56,13 +87,17 @@ struct JoinCounters {
 };
 
 /// Brute-force join; emits every (r, s) with d(r, s) <= eps via
-/// `emit(const Tuple&, const Tuple&)`.
+/// `emit(const Tuple&, const Tuple&)`. Polls `cancel` between outer rows
+/// once at least kKernelPollGrain candidates accumulated; returns partial
+/// counters when cancelled (see KernelCancellation).
 template <typename Emit>
 JoinCounters NestedLoopJoin(const std::vector<Tuple>& r,
                             const std::vector<Tuple>& s, double eps,
-                            Emit&& emit) {
+                            Emit&& emit,
+                            const KernelCancellation* cancel = nullptr) {
   JoinCounters counters;
   const double eps2 = eps * eps;
+  uint64_t since_poll = 0;
   for (const Tuple& a : r) {
     for (const Tuple& b : s) {
       ++counters.candidates;
@@ -71,17 +106,26 @@ JoinCounters NestedLoopJoin(const std::vector<Tuple>& r,
         emit(a, b);
       }
     }
+    if (cancel != nullptr && (since_poll += s.size()) >= kKernelPollGrain) {
+      cancel->Pulse(since_poll);
+      since_poll = 0;
+      if (cancel->ShouldStop()) return counters;
+    }
   }
+  if (cancel != nullptr) cancel->Pulse(since_poll);
   return counters;
 }
 
 /// Plane-sweep join along the x axis. Sorts both inputs in place (partition
 /// buffers are owned by the caller, so in-place sorting avoids copies), then
 /// sweeps an eps-window; only pairs with |r.x - s.x| <= eps reach the exact
-/// distance check.
+/// distance check. Polls `cancel` between pivots once at least
+/// kKernelPollGrain candidates accumulated; returns partial counters when
+/// cancelled (see KernelCancellation).
 template <typename Emit>
 JoinCounters PlaneSweepJoin(std::vector<Tuple>* r, std::vector<Tuple>* s,
-                            double eps, Emit&& emit) {
+                            double eps, Emit&& emit,
+                            const KernelCancellation* cancel = nullptr) {
   JoinCounters counters;
   if (r->empty() || s->empty()) return counters;
   auto by_x = [](const Tuple& a, const Tuple& b) { return a.pt.x < b.pt.x; };
@@ -90,6 +134,7 @@ JoinCounters PlaneSweepJoin(std::vector<Tuple>* r, std::vector<Tuple>* s,
 
   const double eps2 = eps * eps;
   size_t s_lo = 0;
+  uint64_t last_poll_candidates = 0;
   for (const Tuple& a : *r) {
     // Advance the window start: s points left of a.x - eps can never match
     // this or any later r (r is x-sorted).
@@ -105,6 +150,15 @@ JoinCounters PlaneSweepJoin(std::vector<Tuple>* r, std::vector<Tuple>* s,
         emit(a, b);
       }
     }
+    if (cancel != nullptr &&
+        counters.candidates - last_poll_candidates >= kKernelPollGrain) {
+      cancel->Pulse(counters.candidates - last_poll_candidates);
+      last_poll_candidates = counters.candidates;
+      if (cancel->ShouldStop()) return counters;
+    }
+  }
+  if (cancel != nullptr) {
+    cancel->Pulse(counters.candidates - last_poll_candidates);
   }
   return counters;
 }

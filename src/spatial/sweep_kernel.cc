@@ -173,7 +173,8 @@ WindowCounts CountWindow(const double* PASJOIN_RESTRICT sx,
 template <bool kCollect>
 JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
                        double eps, std::vector<ResultPair>* out,
-                       KernelTimings* timings, obs::TraceRecorder* trace) {
+                       KernelTimings* timings, obs::TraceRecorder* trace,
+                       const KernelCancellation* cancel) {
   JoinCounters counters;
   const size_t nr = r.size();
   const size_t ns = s.size();
@@ -216,6 +217,7 @@ JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
   // rescan touches only the (small, L1-resident) window.
   uint64_t candidates = 0;
   uint64_t results = 0;
+  uint64_t last_poll_candidates = 0;
   size_t lo = 0;
   size_t hi = 0;
   for (size_t i = 0; i < nr; ++i) {
@@ -242,7 +244,22 @@ JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
         }
       }
     }
+    // Batch-granularity cancellation poll: a single predictable branch per
+    // pivot (cancel is null on the uncancellable path), with the pulse and
+    // the atomic token load amortized over kKernelPollGrain pivots.
+    if (cancel != nullptr && (i & (kKernelPollGrain - 1)) ==
+                                 kKernelPollGrain - 1) {
+      cancel->Pulse(candidates - last_poll_candidates);
+      last_poll_candidates = candidates;
+      if (cancel->ShouldStop()) {
+        counters.candidates = candidates;
+        counters.results = results;
+        if (batched > 0) flush();
+        return counters;  // Partial; the caller discards (see header).
+      }
+    }
   }
+  if (cancel != nullptr) cancel->Pulse(candidates - last_poll_candidates);
   counters.candidates = candidates;
   counters.results = results;
   if (batched > 0) flush();
@@ -293,11 +310,12 @@ JoinCounters SweepImpl(const SoaPartition& r, const SoaPartition& s,
 
 JoinCounters SoaSweepJoin(const SoaPartition& r, const SoaPartition& s,
                           double eps, std::vector<ResultPair>* out,
-                          KernelTimings* timings, obs::TraceRecorder* trace) {
+                          KernelTimings* timings, obs::TraceRecorder* trace,
+                          const KernelCancellation* cancel) {
   if (out != nullptr) {
-    return SweepImpl<true>(r, s, eps, out, timings, trace);
+    return SweepImpl<true>(r, s, eps, out, timings, trace, cancel);
   }
-  return SweepImpl<false>(r, s, eps, nullptr, timings, trace);
+  return SweepImpl<false>(r, s, eps, nullptr, timings, trace, cancel);
 }
 
 JoinCounters SoaSweepJoinTuples(const std::vector<Tuple>& r,

@@ -126,10 +126,16 @@ class SoaPartition {
 /// interleaved with the sweep in batches, so the two spans split the
 /// call's wall time by the measured per-phase attribution (they are exact
 /// in duration, sequential in presentation).
+/// When `cancel` is non-null the sweep polls it every kKernelPollGrain
+/// pivots (one predictable branch amortized over an emission batch) and
+/// returns early with partial counters once the token fires; the caller
+/// must then discard counters and `*out` (see KernelCancellation). A null
+/// `cancel` keeps the sweep on its original uncancellable path.
 JoinCounters SoaSweepJoin(const SoaPartition& r, const SoaPartition& s,
                           double eps, std::vector<ResultPair>* out,
                           KernelTimings* timings = nullptr,
-                          obs::TraceRecorder* trace = nullptr);
+                          obs::TraceRecorder* trace = nullptr,
+                          const KernelCancellation* cancel = nullptr);
 
 /// Convenience wrapper: loads both sides and runs the sweep (the
 /// single-call form used by tests and benchmarks).

@@ -1,6 +1,9 @@
 // Copyright 2026 The pasjoin Authors.
 #include "common/status.h"
 
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace pasjoin {
@@ -96,6 +99,40 @@ TEST(StatusCodeTest, Names) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusCodeTest, CancellationFactories) {
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("user abort").ToString(),
+            "Cancelled: user abort");
+  EXPECT_EQ(Status::DeadlineExceeded("50ms budget").ToString(),
+            "DeadlineExceeded: 50ms budget");
+}
+
+// Exhaustiveness: every code in [0, kStatusCodeCount) has a real name.
+// The static_assert in status.cc pins kStatusCodeCount to the last
+// enumerator and -Wswitch rejects a switch missing a case, so this test
+// cannot silently go stale when a code is appended.
+TEST(StatusCodeTest, EveryCodeHasAUniqueName) {
+  std::set<std::string> names;
+  for (int code = 0; code < kStatusCodeCount; ++code) {
+    const char* name = StatusCodeToString(static_cast<StatusCode>(code));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "") << "code " << code;
+    EXPECT_STRNE(name, "Unknown")
+        << "code " << code << " fell through to the fallback name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate StatusCode name '" << name << "' at code " << code;
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kStatusCodeCount));
+  // Out-of-range codes hit the fallback, never UB.
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(kStatusCodeCount)),
+               "Unknown");
 }
 
 }  // namespace

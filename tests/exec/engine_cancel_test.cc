@@ -1,0 +1,304 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Tests of the engine's cancellation/deadline contract
+// (docs/CANCELLATION.md): pre-cancelled tokens and pre-expired deadlines
+// are rejected up front, a mid-run cancel or deadline aborts the job with
+// the right status and zero partial results, successful runs under a
+// deadline record their slack, and the stuck-task watchdog turns injected
+// infinite stragglers into bounded retries with an exact result.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "exec/engine.h"
+#include "test_util.h"
+
+namespace pasjoin::exec {
+namespace {
+
+using pasjoin::testing::MakeDataset;
+
+/// 1-D band partitioner over [0, 10): partition = floor(x); the replicated
+/// side (R) is copied into every neighbor band its eps-ball touches.
+AssignFn BandAssign(double eps) {
+  return [eps](const Tuple& t, Side side) {
+    PartitionList out;
+    const int native = std::clamp(static_cast<int>(t.pt.x), 0, 9);
+    out.push_back(native);
+    if (side == Side::kR) {
+      const int lo = std::clamp(static_cast<int>(t.pt.x - eps), 0, 9);
+      const int hi = std::clamp(static_cast<int>(t.pt.x + eps), 0, 9);
+      for (int p = lo; p <= hi; ++p) {
+        if (p != native) out.push_back(p);
+      }
+    }
+    return out;
+  };
+}
+
+OwnerFn ModOwner(int workers) {
+  return [workers](PartitionId p) {
+    return static_cast<int>(static_cast<uint32_t>(p) %
+                            static_cast<uint32_t>(workers));
+  };
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextUniform(0, 10), rng.NextUniform(0, 1)});
+  }
+  return pts;
+}
+
+EngineOptions SmallOptions() {
+  EngineOptions options;
+  options.eps = 0.25;
+  options.workers = 4;
+  options.num_splits = 8;
+  options.physical_threads = 2;
+  options.collect_results = true;
+  return options;
+}
+
+/// Large enough that the join takes well over the deadlines used below on
+/// any host (hundreds of millions of candidate pairs), small enough to
+/// generate instantly.
+EngineOptions BigOptions() {
+  EngineOptions options;
+  options.eps = 0.5;
+  options.workers = 4;
+  options.num_splits = 16;
+  options.physical_threads = 2;
+  options.collect_results = false;
+  return options;
+}
+
+constexpr size_t kBigN = 400000;
+
+TEST(EngineCancelTest, PreCancelledTokenRejectsRun) {
+  const Dataset r = MakeDataset(RandomPoints(50, 1), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(50, 2), 1000, "S");
+  EngineOptions options = SmallOptions();
+  CancellationSource source;
+  source.Cancel(StatusCode::kCancelled, "caller gave up");
+  options.cancel = source.token();
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status().message(), "caller gave up");
+}
+
+TEST(EngineCancelTest, PreExpiredDeadlineRejectsRun) {
+  const Dataset r = MakeDataset(RandomPoints(50, 1), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(50, 2), 1000, "S");
+  EngineOptions options = SmallOptions();
+  options.deadline = Deadline::AfterSeconds(0.0);
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineCancelTest, DeadlineAbortsLargeJoin) {
+  const Dataset r = MakeDataset(RandomPoints(kBigN, 11), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(kBigN, 12), 1000000, "S");
+  EngineOptions options = BigOptions();
+  options.deadline = Deadline::AfterSeconds(0.05);
+  const Stopwatch sw;
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  const double elapsed = sw.ElapsedSeconds();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The abort must be prompt: poll points in every kernel batch bound the
+  // overshoot. 2 s is orders of magnitude above the firing latency but
+  // still far below the uncancelled runtime of this join.
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(EngineCancelTest, DeadlineAbortsFaultTolerantJoin) {
+  const Dataset r = MakeDataset(RandomPoints(kBigN, 13), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(kBigN, 14), 1000000, "S");
+  EngineOptions options = BigOptions();
+  options.fault.enabled = true;
+  options.deadline = Deadline::AfterSeconds(0.05);
+  const Stopwatch sw;
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  const double elapsed = sw.ElapsedSeconds();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(EngineCancelTest, ExternalCancelAbortsRun) {
+  const Dataset r = MakeDataset(RandomPoints(kBigN, 15), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(kBigN, 16), 1000000, "S");
+  EngineOptions options = BigOptions();
+  CancellationSource source;
+  options.cancel = source.token();
+  std::thread canceller([&] {
+    source.token().WaitForCancellation(0.03);
+    source.Cancel(StatusCode::kCancelled, "user pressed ctrl-c");
+  });
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status().message(), "user pressed ctrl-c");
+}
+
+TEST(EngineCancelTest, SuccessfulRunRecordsDeadlineSlack) {
+  const Dataset r = MakeDataset(RandomPoints(300, 3), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(300, 4), 1000, "S");
+  EngineOptions options = SmallOptions();
+  options.deadline = Deadline::AfterSeconds(60.0);
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JobMetrics& m = result.value().metrics;
+  EXPECT_TRUE(std::isfinite(m.deadline_slack_seconds));
+  EXPECT_GT(m.deadline_slack_seconds, 0.0);
+  EXPECT_LE(m.deadline_slack_seconds, 60.0);
+}
+
+TEST(EngineCancelTest, NoDeadlineLeavesSlackInfinite) {
+  const Dataset r = MakeDataset(RandomPoints(100, 5), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(100, 6), 1000, "S");
+  EngineOptions options = SmallOptions();
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::isinf(result.value().metrics.deadline_slack_seconds));
+}
+
+TEST(EngineCancelTest, InvalidWatchdogOptionsRejected) {
+  const Dataset r = MakeDataset(RandomPoints(50, 7), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(50, 8), 1000, "S");
+  EngineOptions options = SmallOptions();
+  options.watchdog.quiet_period_seconds = -1.0;
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The acceptance scenario of docs/CANCELLATION.md: every first attempt is
+// an "infinite" straggler (it would sleep ~17 minutes); the watchdog
+// cancels each stalled attempt after its 50 ms quiet period, the recovery
+// runner retries (retries never straggle), and the job completes with the
+// exact fault-free result.
+TEST(EngineWatchdogTest, InfiniteStragglersAreCancelledAndRetried) {
+  const Dataset r = MakeDataset(RandomPoints(400, 21), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 22), 1000, "S");
+  EngineOptions options = SmallOptions();
+
+  Result<JoinRun> clean_result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
+  std::vector<ResultPair> expected = clean_result.MoveValue().pairs;
+  std::sort(expected.begin(), expected.end());
+
+  options.fault.enabled = true;
+  options.fault.straggler_p = 1.0;
+  options.fault.straggler_base_ms = 1e6;  // "never" finishes on its own
+  options.fault.straggler_slowdown = 1.0;
+  options.watchdog.enabled = true;
+  options.watchdog.quiet_period_seconds = 0.05;
+  options.watchdog.poll_interval_seconds = 0.005;
+
+  const Stopwatch sw;
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  JoinRun run = result.MoveValue();
+  std::sort(run.pairs.begin(), run.pairs.end());
+  EXPECT_EQ(run.pairs, expected);
+  EXPECT_GT(run.metrics.watchdog_fires, 0u);
+  EXPECT_GT(run.metrics.tasks_retried, 0u);
+  // Bounded recovery: stalls cost quiet periods, not straggler sleeps.
+  EXPECT_LT(sw.ElapsedSeconds(), 60.0);
+}
+
+// A quick-firing watchdog must not cancel healthy tasks: with no injected
+// stragglers the kernels' heartbeat pulses keep every attempt alive and
+// the result stays exact.
+TEST(EngineWatchdogTest, HealthyRunSurvivesAggressiveWatchdog) {
+  const Dataset r = MakeDataset(RandomPoints(500, 23), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(500, 24), 1000, "S");
+  EngineOptions options = SmallOptions();
+
+  Result<JoinRun> clean_result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
+  std::vector<ResultPair> expected = clean_result.MoveValue().pairs;
+  std::sort(expected.begin(), expected.end());
+
+  options.fault.enabled = true;
+  options.watchdog.enabled = true;
+  options.watchdog.quiet_period_seconds = 0.25;
+  options.watchdog.poll_interval_seconds = 0.005;
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  JoinRun run = result.MoveValue();
+  std::sort(run.pairs.begin(), run.pairs.end());
+  EXPECT_EQ(run.pairs, expected);
+}
+
+// Speculative execution + cancellation of losing attempts: the winner
+// commits exactly once and losers are cancelled, never published.
+TEST(EngineWatchdogTest, SpeculationLosersAreCancelledExactly) {
+  const Dataset r = MakeDataset(RandomPoints(600, 25), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(600, 26), 1000, "S");
+  EngineOptions options = SmallOptions();
+
+  Result<JoinRun> clean_result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
+  std::vector<ResultPair> expected = clean_result.MoveValue().pairs;
+  std::sort(expected.begin(), expected.end());
+
+  options.fault.enabled = true;
+  options.fault.straggler_p = 0.3;
+  options.fault.straggler_base_ms = 10.0;
+  options.fault.straggler_multiplier = 1.5;
+  options.fault.speculation = true;
+  options.watchdog.enabled = true;
+  options.watchdog.quiet_period_seconds = 5.0;  // stalls resolve by racing
+  Result<JoinRun> result =
+      TryRunPartitionedJoin(r, s, BandAssign(options.eps),
+                            ModOwner(options.workers), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  JoinRun run = result.MoveValue();
+  std::sort(run.pairs.begin(), run.pairs.end());
+  EXPECT_EQ(run.pairs, expected);
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

@@ -3,8 +3,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/status.h"
 
 namespace pasjoin::exec {
 namespace {
@@ -65,6 +70,118 @@ TEST(ThreadPoolTest, DestructionJoinsCleanly) {
 
 TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+// The documented destructor contract: destruction is a DRAIN, not an
+// abandonment — tasks that were queued but never started still execute
+// before the destructor returns. A single-threaded pool with a slow first
+// task guarantees the rest of the queue is still pending when the
+// destructor begins.
+TEST(ThreadPoolTest, DestructorRunsQueuedButUnstartedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain the queue itself.
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPoolCancelTest, DefaultTokenBehavesLikePlainWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  const Status st = pool.Wait(CancellationToken());
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolCancelTest, UncancelledTokenWaitsForCompletion) {
+  ThreadPool pool(2);
+  CancellationSource source;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  const Status st = pool.Wait(source.token());
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(counter.load(), 40);
+}
+
+// On cancellation, queued-but-unstarted tasks are dropped while running
+// tasks drain: the single worker is parked in the first task when the
+// cancel fires, so none of the queued follow-ups may run.
+TEST(ThreadPoolCancelTest, CancelDropsQueuedTasks) {
+  ThreadPool pool(1);
+  CancellationSource wait_source;   // cancels the Wait
+  CancellationSource park_source;   // releases the running task
+  std::atomic<int> ran{0};
+  // The single worker parks inside the first task for the whole test, so
+  // the 25 follow-ups stay queued until Wait(token) observes the cancel
+  // and drops them; only then is the running task released.
+  pool.Submit([&] {
+    park_source.token().WaitForCancellation(30.0);
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  std::thread controller([&] {
+    wait_source.token().WaitForCancellation(0.05);
+    wait_source.Cancel(StatusCode::kCancelled, "drop the queue");
+    // Give the cancelled Wait ample time to clear the queue (its poll
+    // cadence is 5 ms) before the parked task — and with it the worker —
+    // is released.
+    park_source.token().WaitForCancellation(0.5);
+    park_source.Cancel(StatusCode::kCancelled, "release the worker");
+  });
+  const Status st = pool.Wait(wait_source.token());
+  controller.join();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(st.message(), "drop the queue");
+  // Only the already-running task completed; the 25 queued ones were
+  // dropped and must not run later either (destructor drains nothing).
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolCancelTest, CancelledWaitReturnsDeadlineCode) {
+  ThreadPool pool(1);
+  CancellationSource source;
+  source.Cancel(StatusCode::kDeadlineExceeded, "too slow");
+  pool.Submit([] {});
+  const Status st = pool.Wait(source.token());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ThreadPoolCancelTest, TaskErrorsAreRethrownEvenWhenCancelled) {
+  ThreadPool pool(1);
+  CancellationSource source;
+  std::atomic<bool> started{false};
+  // The task must be RUNNING when the cancel fires: a cancel that lands
+  // first would drop it from the queue (the documented drop semantics) and
+  // there would be no error to rethrow.
+  pool.Submit([&] {
+    started = true;
+    source.token().WaitForCancellation(10.0);
+    throw std::runtime_error("task exploded");
+  });
+  while (!started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  source.Cancel(StatusCode::kCancelled, "also cancelled");
+  EXPECT_THROW(
+      {
+        Status st = pool.Wait(source.token());
+        (void)st;
+      },
+      std::runtime_error);
 }
 
 }  // namespace

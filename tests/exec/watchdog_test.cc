@@ -1,0 +1,151 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Tests of the per-job watchdog (exec/watchdog.h): option validation,
+// activation rules, deadline firing, stall detection on silent heartbeats,
+// and non-firing while progress keeps flowing (docs/CANCELLATION.md).
+#include "exec/watchdog.h"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace pasjoin::exec {
+namespace {
+
+WatchdogOptions FastOptions() {
+  WatchdogOptions options;
+  options.enabled = true;
+  options.quiet_period_seconds = 0.05;
+  options.poll_interval_seconds = 0.005;
+  return options;
+}
+
+TEST(WatchdogOptionsTest, DefaultValidates) {
+  EXPECT_TRUE(WatchdogOptions().Validate().ok());
+}
+
+TEST(WatchdogOptionsTest, RejectsBadPeriods) {
+  WatchdogOptions options;
+  options.quiet_period_seconds = 0.0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = WatchdogOptions();
+  options.poll_interval_seconds = -1.0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options = WatchdogOptions();
+  options.quiet_period_seconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WatchdogTest, InactiveWithoutDeadlineOrStallDetection) {
+  CancellationSource job;
+  Watchdog watchdog(WatchdogOptions(), Deadline::Never(), &job, nullptr);
+  EXPECT_FALSE(watchdog.active());
+  EXPECT_FALSE(watchdog.stall_detection());
+  // Register/Unregister on an inactive watchdog are harmless no-ops.
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 0);
+  watchdog.Register(hb);
+  watchdog.Unregister(hb);
+  EXPECT_EQ(watchdog.fires(), 0u);
+}
+
+TEST(WatchdogTest, DeadlineOnlyRunsWithoutStallDetection) {
+  CancellationSource job;
+  Watchdog watchdog(WatchdogOptions(), Deadline::AfterSeconds(3600.0), &job,
+                    nullptr);
+  EXPECT_TRUE(watchdog.active());
+  EXPECT_FALSE(watchdog.stall_detection());
+  EXPECT_FALSE(job.cancelled());
+}
+
+TEST(WatchdogTest, DeadlineCancelsJobWithDeadlineExceeded) {
+  CancellationSource job;
+  const CancellationToken token = job.token();
+  WatchdogOptions options;
+  options.poll_interval_seconds = 0.005;
+  Watchdog watchdog(options, Deadline::AfterSeconds(0.02), &job, nullptr);
+  // The firing latency is bounded by the poll interval; 2 s is generous.
+  EXPECT_TRUE(token.WaitForCancellation(2.0));
+  const Status st = token.ToStatus();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(WatchdogTest, StallFiresOnSilentHeartbeat) {
+  CancellationSource job;
+  Watchdog watchdog(FastOptions(), Deadline::Never(), &job, nullptr);
+  ASSERT_TRUE(watchdog.stall_detection());
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 3);
+  watchdog.Register(hb);
+  // Never pulse: the quiet period (50 ms) elapses and the attempt token
+  // fires while the job stays live.
+  EXPECT_TRUE(hb->token().WaitForCancellation(2.0));
+  EXPECT_EQ(hb->token().ToStatus().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(job.cancelled());
+  EXPECT_GE(watchdog.fires(), 1u);
+  watchdog.Unregister(hb);
+}
+
+TEST(WatchdogTest, NoFireWhileProgressFlows) {
+  CancellationSource job;
+  Watchdog watchdog(FastOptions(), Deadline::Never(), &job, nullptr);
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 0);
+  watchdog.Register(hb);
+  const Stopwatch sw;
+  // Pulse for 4x the quiet period; the heartbeat must survive.
+  while (sw.ElapsedSeconds() < 0.2) {
+    hb->Pulse(1);
+    EXPECT_FALSE(hb->token().WaitForCancellation(0.005));
+  }
+  EXPECT_FALSE(hb->token().IsCancelled());
+  EXPECT_EQ(watchdog.fires(), 0u);
+  watchdog.Unregister(hb);
+}
+
+TEST(WatchdogTest, UnregisteredHeartbeatIsNotFired) {
+  CancellationSource job;
+  Watchdog watchdog(FastOptions(), Deadline::Never(), &job, nullptr);
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 0);
+  watchdog.Register(hb);
+  watchdog.Unregister(hb);
+  // Wait past the quiet period: nothing may fire.
+  EXPECT_FALSE(hb->token().WaitForCancellation(0.12));
+  EXPECT_EQ(watchdog.fires(), 0u);
+}
+
+TEST(WatchdogTest, JobCancelReachesAttemptThroughLink) {
+  CancellationSource job;
+  Watchdog watchdog(FastOptions(), Deadline::Never(), &job, nullptr);
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 1);
+  watchdog.Register(hb);
+  job.Cancel(StatusCode::kCancelled, "external abort");
+  EXPECT_TRUE(hb->token().WaitForCancellation(1.0));
+  EXPECT_EQ(hb->token().ToStatus().code(), StatusCode::kCancelled);
+  watchdog.Unregister(hb);
+}
+
+TEST(WatchdogTest, AttemptCancelDoesNotTouchJob) {
+  CancellationSource job;
+  auto hb = std::make_shared<TaskHeartbeat>(job.token(), "phase-test", 2);
+  EXPECT_TRUE(hb->Cancel(StatusCode::kCancelled, "sibling committed"));
+  EXPECT_TRUE(hb->token().IsCancelled());
+  EXPECT_FALSE(job.cancelled());
+}
+
+TEST(WatchdogTest, HeartbeatAccumulatesProgress) {
+  CancellationSource job;
+  TaskHeartbeat hb(job.token(), "phase-test", 7);
+  EXPECT_EQ(hb.progress(), 0u);
+  hb.Pulse(5);
+  hb.cell()->fetch_add(3, std::memory_order_relaxed);
+  EXPECT_EQ(hb.progress(), 8u);
+  EXPECT_EQ(hb.task(), 7);
+  EXPECT_STREQ(hb.phase_name(), "phase-test");
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

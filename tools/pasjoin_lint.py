@@ -24,6 +24,15 @@ suppression mechanism):
                          threading, retry/backoff timing lives in its
                          fault-tolerance layer, and the annotated sync layer
                          wraps the one condition variable everyone shares).
+  no-uninterruptible-sleep
+                         Uninterruptible sleeps (std::this_thread::sleep_for
+                         / sleep_until, usleep, nanosleep) are banned under
+                         src/exec: engine code must wait on an interruptible
+                         primitive (CondVar::WaitFor,
+                         CancellationToken::WaitForCancellation) so
+                         cancellation, deadlines, and shutdown are never
+                         blocked behind a raw timer (docs/CANCELLATION.md).
+                         Only src/common/sync.* may sleep.
   sync-discipline        Raw standard-library locking (std::mutex and
                          friends, std::lock_guard / unique_lock /
                          scoped_lock / shared_lock, std::condition_variable,
@@ -99,6 +108,9 @@ SYNC_TOKEN_RE = re.compile(
     r"std::condition_variable(?:_any)?|std::call_once|std::once_flag)\b")
 SYNC_HEADER_RE = re.compile(
     r"^\s*#\s*include\s+<(?:mutex|shared_mutex|condition_variable)>")
+SLEEP_TOKEN_RE = re.compile(
+    r"\b(?:std::this_thread::sleep_for|std::this_thread::sleep_until|"
+    r"usleep\s*\(|nanosleep\s*\()")
 RNG_TOKEN_RE = re.compile(
     r"\b(?:s?rand\s*\(|std::random_device|std::mt19937(?:_64)?|"
     r"std::minstd_rand0?|std::default_random_engine|drand48\s*\()")
@@ -116,6 +128,7 @@ KNOWN_RULES = frozenset({
     "no-include-cycles",
     "layering",
     "no-naked-thread",
+    "no-uninterruptible-sleep",
     "sync-discipline",
     "sync-guarded-by",
     "rng-discipline",
@@ -432,6 +445,14 @@ def main() -> int:
                 "to src/exec and src/common/sync.* (use exec::ThreadPool; "
                 "retry/backoff timing lives in the engine's fault-tolerance "
                 "layer)")
+    violations += check_token_rule(
+        [f for f in files if f.relative_to(SRC).parts[0] == "exec"],
+        "no-uninterruptible-sleep", SLEEP_TOKEN_RE,
+        allowed=lambda f: False,
+        message="uninterruptible sleeps are banned in src/exec: wait on "
+                "CondVar::WaitFor or CancellationToken::WaitForCancellation "
+                "so cancellation/deadlines/shutdown can interrupt the wait "
+                "(docs/CANCELLATION.md)")
     violations += check_token_rule(
         files, "sync-discipline", SYNC_TOKEN_RE,
         allowed=in_sync_layer,

@@ -189,7 +189,8 @@ class UnknownSuppressionTest(LintFixture):
         for rule in ("sync-discipline", "sync-guarded-by", "no-naked-thread",
                      "rng-discipline", "nodiscard-status",
                      "no-function-hotpath", "layering", "self-contained",
-                     "umbrella-reachability", "no-include-cycles"):
+                     "umbrella-reachability", "no-include-cycles",
+                     "no-uninterruptible-sleep"):
             self.assertIn(rule, pasjoin_lint.KNOWN_RULES)
 
 
@@ -214,6 +215,52 @@ class NakedThreadScopeTest(LintFixture):
 
     def test_exec_allowed(self) -> None:
         f = self.write("exec/pool.cc", "std::thread t;\n")
+        self.assertEqual(self.check([f]), [])
+
+
+class UninterruptibleSleepTest(LintFixture):
+    """The no-uninterruptible-sleep rule: banned in src/exec, always."""
+
+    def check(self, files) -> list:
+        return pasjoin_lint.check_token_rule(
+            [f for f in files
+             if f.relative_to(pasjoin_lint.SRC).parts[0] == "exec"],
+            "no-uninterruptible-sleep", pasjoin_lint.SLEEP_TOKEN_RE,
+            allowed=lambda f: False,
+            message="uninterruptible sleeps are banned")
+
+    def test_sleep_for_in_exec_flags(self) -> None:
+        f = self.write(
+            "exec/bad.cc",
+            "std::this_thread::sleep_for(std::chrono::seconds(1));\n")
+        self.assertEqual(self.rules_of(self.check([f])),
+                         ["no-uninterruptible-sleep"])
+
+    def test_sleep_until_and_usleep_flag(self) -> None:
+        f = self.write("exec/bad2.cc",
+                       "std::this_thread::sleep_until(t);\nusleep(100);\n")
+        self.assertEqual(self.rules_of(self.check([f])),
+                         ["no-uninterruptible-sleep",
+                          "no-uninterruptible-sleep"])
+
+    def test_interruptible_wait_passes(self) -> None:
+        f = self.write("exec/ok.cc",
+                       "token.WaitForCancellation(0.25);\n"
+                       "cv_.WaitFor(lock, 0.005);\n")
+        self.assertEqual(self.check([f]), [])
+
+    def test_outside_exec_not_this_rules_business(self) -> None:
+        # sleep_for outside src/exec is no-naked-thread territory; this
+        # rule's file filter must exclude it.
+        f = self.write(
+            "grid/elsewhere.cc",
+            "std::this_thread::sleep_for(std::chrono::seconds(1));\n")
+        self.assertEqual(self.check([f]), [])
+
+    def test_suppression_honored(self) -> None:
+        f = self.write(
+            "exec/suppressed.cc",
+            "usleep(1);  // pasjoin-lint: allow(no-uninterruptible-sleep)\n")
         self.assertEqual(self.check([f]), [])
 
 

@@ -6,8 +6,10 @@ The engine's TraceRecorder (src/obs/trace_recorder.h) exports Chrome
 trace-event JSON: one "thread" timeline per logical worker plus one for the
 driver, task spans named <phase>-task (map-task, regroup-task, join-task,
 dedup-scatter-task, dedup-merge-task), per-partition join-partition spans,
-kernel-sort/kernel-sweep/kernel-emit spans, fault-* events, and the job's
-counters/gauges under the top-level pasjoin_counters / pasjoin_gauges keys.
+kernel-sort/kernel-sweep/kernel-emit spans, fault-* events, cancellation
+events (cat "cancel": cancel-abandon, watchdog-fire, deadline-exceeded), and
+the job's counters/gauges under the top-level pasjoin_counters /
+pasjoin_gauges keys.
 
 This tool prints a human-readable rollup:
 
@@ -28,8 +30,11 @@ reported (exit 1 on violation):
   * kernel gauge sums (sort/sweep/emit) vs the kernel span sums, when the
     run reported a kernel breakdown;
   * the candidates counter vs the sum of join-partition span args (exact;
-    skipped when fault events are present, because losing attempts also
-    record partition spans);
+    skipped when fault or cancellation events are present, because losing
+    and abandoned attempts also record partition spans);
+  * the watchdog_fires counter vs the number of watchdog-fire events, and
+    the tasks_cancelled counter vs the number of cancel-abandon events
+    (exact — each fire/abandon records exactly one instant);
   * no dropped events.
 
 Only committed task spans (args.committed != 0; spans without the arg count
@@ -75,6 +80,7 @@ class Rollup:
         # name -> tid -> [count, busy_seconds]
         self.spans = defaultdict(lambda: defaultdict(lambda: [0, 0.0]))
         self.fault_events = []
+        self.cancel_events = []
         self.join_partitions = 0
         self.span_candidates = 0
         events = trace.get("traceEvents", [])
@@ -88,6 +94,9 @@ class Rollup:
                 continue
             if event.get("cat") == "fault":
                 self.fault_events.append(event)
+                continue
+            if event.get("cat") == "cancel":
+                self.cancel_events.append(event)
                 continue
             if ph != "X":
                 continue
@@ -182,6 +191,13 @@ def print_rollup(rollup: Rollup, trace) -> None:
             by_name[event.get("name", "?")] += 1
         for name in sorted(by_name):
             print(f"{name:<24} {by_name[name]}")
+    if rollup.cancel_events:
+        print(f"\n== cancellation events ({len(rollup.cancel_events)}) ==")
+        by_name = defaultdict(int)
+        for event in rollup.cancel_events:
+            by_name[event.get("name", "?")] += 1
+        for name in sorted(by_name):
+            print(f"{name:<24} {by_name[name]}")
     dropped = trace.get("pasjoin_dropped_events", 0)
     if dropped:
         print(f"\nWARNING: {dropped} events dropped (shard capacity)")
@@ -242,6 +258,7 @@ def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
 
     if (
         not rollup.fault_events
+        and not rollup.cancel_events
         and rollup.join_partitions
         and "candidates" in counters
     ):
@@ -253,6 +270,7 @@ def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
             )
     if (
         not rollup.fault_events
+        and not rollup.cancel_events
         and rollup.join_partitions
         and "partitions_joined" in counters
         and rollup.join_partitions != counters["partitions_joined"]
@@ -260,6 +278,29 @@ def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
         errors.append(
             f"partitions_joined: {rollup.join_partitions} join-partition "
             f"spans, counters report {counters['partitions_joined']}"
+        )
+
+    # Cancellation bookkeeping is exact: the engine records one
+    # "watchdog-fire" instant per watchdog cancellation and one
+    # "cancel-abandon" instant per task attempt abandoned because the job
+    # was cancelled, and folds the same quantities into the counters.
+    cancel_counts = defaultdict(int)
+    for event in rollup.cancel_events:
+        cancel_counts[event.get("name", "?")] += 1
+    if "watchdog_fires" in counters and counters["watchdog_fires"] != (
+        cancel_counts["watchdog-fire"]
+    ):
+        errors.append(
+            f"watchdog_fires: {cancel_counts['watchdog-fire']} watchdog-fire "
+            f"events, counters report {counters['watchdog_fires']}"
+        )
+    if "tasks_cancelled" in counters and counters["tasks_cancelled"] != (
+        cancel_counts["cancel-abandon"]
+    ):
+        errors.append(
+            f"tasks_cancelled: {cancel_counts['cancel-abandon']} "
+            f"cancel-abandon events, counters report "
+            f"{counters['tasks_cancelled']}"
         )
 
     dropped = trace.get("pasjoin_dropped_events", 0)

@@ -21,10 +21,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/engine.h"
 #include "spatial/local_join.h"
 #include "spatial/rtree.h"
 #include "spatial/sweep_kernel.h"
@@ -223,6 +226,81 @@ void MeasureKernel(spatial::LocalJoinKernel kernel,
   report->records.push_back(record);
 }
 
+/// End-to-end engine run (map + regroup + steal-parallel local join) over
+/// the same workload, recorded as kernel "engine-<threads>t". The
+/// partitioning is PBSM-style exactly-once: a g x g uniform grid over the
+/// square, R assigned to its native cell only, S replicated into every
+/// cell its eps-box touches — so each result pair is found in exactly one
+/// partition (r's native cell) and the engine's results counter must EQUAL
+/// the flat kernel's result count, which doubles as the correctness gate.
+/// Returns false when that gate fails.
+bool MeasureEngine(const std::vector<Tuple>& r, const std::vector<Tuple>& s,
+                   double eps, int reps, int threads,
+                   uint64_t expected_results, bench::BenchReport* report) {
+  const double side = std::sqrt(static_cast<double>(r.size()));
+  const int g = 32;  // 1024 partitions; cell size >> eps at every scale
+  const double cell = side / g;
+  const auto cell_of = [g, cell](double v) {
+    return std::min(g - 1, std::max(0, static_cast<int>(v / cell)));
+  };
+  const exec::AssignFn assign = [&, g](const Tuple& t, Side tuple_side) {
+    exec::PartitionList out;
+    const int cx = cell_of(t.pt.x);
+    const int cy = cell_of(t.pt.y);
+    out.push_back(cy * g + cx);
+    if (tuple_side == Side::kS) {
+      for (int ny = cell_of(t.pt.y - eps); ny <= cell_of(t.pt.y + eps);
+           ++ny) {
+        for (int nx = cell_of(t.pt.x - eps); nx <= cell_of(t.pt.x + eps);
+             ++nx) {
+          if (nx != cx || ny != cy) out.push_back(ny * g + nx);
+        }
+      }
+    }
+    return out;
+  };
+  const exec::OwnerFn owner = [](exec::PartitionId p) {
+    return static_cast<int>(p) % 8;
+  };
+  exec::EngineOptions options;
+  options.eps = eps;
+  options.workers = 8;
+  options.physical_threads = threads;
+
+  bench::BenchRecord record;
+  record.kernel = "engine-" + std::to_string(threads) + "t";
+  record.points = r.size();
+  record.eps = eps;
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  Dataset dr{"R", r};
+  Dataset ds{"S", s};
+  for (int i = 0; i < reps; ++i) {
+    const Stopwatch watch;
+    const exec::JoinRun run =
+        exec::RunPartitionedJoin(dr, ds, assign, owner, options);
+    seconds.push_back(watch.ElapsedSeconds());
+    record.candidates = run.metrics.candidates;
+    record.results = run.metrics.results;
+    if (run.metrics.results != expected_results) {
+      std::fprintf(stderr,
+                   "FAIL: %s results=%llu but the flat kernel found %llu\n",
+                   record.kernel.c_str(),
+                   static_cast<unsigned long long>(run.metrics.results),
+                   static_cast<unsigned long long>(expected_results));
+      return false;
+    }
+  }
+  record.median_seconds = bench::MedianSeconds(seconds);
+  record.p95_seconds = bench::PercentileSeconds(seconds, 95.0);
+  std::fprintf(stderr, "  %-11s n=%-9zu median=%8.4fs p95=%8.4fs results=%llu\n",
+               record.kernel.c_str(), r.size(), record.median_seconds,
+               record.p95_seconds,
+               static_cast<unsigned long long>(record.results));
+  report->records.push_back(record);
+  return true;
+}
+
 int RunJsonMode(const std::string& path) {
   const bench::Defaults defaults = bench::GetDefaults();
   const size_t n = defaults.base_n;
@@ -246,6 +324,33 @@ int RunJsonMode(const std::string& path) {
         spatial::LocalJoinKernel::kPlaneSweep,
         spatial::LocalJoinKernel::kRTree}) {
     MeasureKernel(kernel, r, s, eps, reps, &report);
+  }
+
+  // Engine end-to-end: the same workload through the full distributed
+  // dataflow. engine-1t is the sequential reference; on multicore hosts an
+  // engine-<N>t record (N = min(8, cores)) measures the work-stealing
+  // speedup — CI gates engine-8t:engine-1t >= 3.0 on 8-core runners.
+  {
+    uint64_t flat_results = 0;
+    for (const bench::BenchRecord& rec : report.records) {
+      if (rec.kernel == "sweep-soa" && rec.points == n) {
+        flat_results = rec.results;
+      }
+    }
+    if (!MeasureEngine(r, s, eps, reps, /*threads=*/1, flat_results,
+                       &report)) {
+      return 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 1) {
+      const int multi = static_cast<int>(std::min(8u, hw));
+      if (!MeasureEngine(r, s, eps, reps, multi, flat_results, &report)) {
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "  engine-Nt skipped: single hardware thread available\n");
+    }
   }
 
   // Oracle slice: nested loop + SoA on the same reduced inputs. check_bench

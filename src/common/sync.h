@@ -150,6 +150,13 @@ inline constexpr int kEnginePhaseState = 100;
 inline constexpr int kEngineWorkerStore = 200;
 /// exec engine: lineage-rebuild time aggregation (inside the store lock).
 inline constexpr int kEngineRebuildStats = 300;
+/// exec engine: per-worker result-merge slots of the steal phases — a
+/// runner thread flushes its thread-local pair buffer into one slot per
+/// acquisition and never holds two slots at once (docs/PARALLELISM.md).
+inline constexpr int kEngineOutputMerge = 350;
+/// exec::ThreadPool cancel-wake handshake (Wait(token)'s callback handoff);
+/// held while acquiring the pool lock, hence ranked just below it.
+inline constexpr int kThreadPoolCancelWake = 380;
 /// exec::ThreadPool queue/shutdown state; acquired by Submit() while the
 /// engine holds its phase-state lock.
 inline constexpr int kThreadPool = 400;

@@ -84,6 +84,29 @@ struct ResultPairHash {
   }
 };
 
+/// splitmix64 finalizer: a full-avalanche mix of all 64 bits. Cheap (two
+/// multiplies, three shifts) and bijective, so it never loses entropy.
+inline uint64_t SplitMix64(uint64_t h) {
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Shard-routing hash for ResultPair: ResultPairHash finalized through
+/// SplitMix64 so that `hash % shards` stays balanced even for power-of-two
+/// shard counts. The raw ResultPairHash keeps low-bit structure when tuple
+/// ids share a power-of-two stride (ids that are multiples of 64 collapse
+/// onto a single shard of 8), because `%` on a power of two reads only the
+/// low bits; the finalizer avalanches every input bit into them. Used by
+/// the engine's result-dedup partitioner; the un-finalized ResultPairHash
+/// remains the right choice for hash *tables*, whose prime-ish bucket
+/// counts are not low-bit-sensitive.
+struct ResultPairShardHash {
+  size_t operator()(const ResultPair& p) const {
+    return static_cast<size_t>(SplitMix64(ResultPairHash{}(p)));
+  }
+};
+
 }  // namespace pasjoin
 
 #endif  // PASJOIN_COMMON_TUPLE_H_

@@ -122,6 +122,7 @@ Result<exec::JoinRun> AdaptiveDistanceJoin(const Dataset& r, const Dataset& s,
   exec::JoinRun run = run_result.MoveValue();
   run.metrics.algorithm = agreements::PolicyName(options.policy);
   run.metrics.construction_seconds += driver_seconds;
+  run.metrics.measured_construction_seconds += driver_seconds;
   if (trace != nullptr) {
     // Re-publish the gauges: construction now includes the sequential
     // driver time, which the engine could not see.

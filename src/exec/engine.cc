@@ -31,6 +31,8 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/sync.h"
+#include "exec/phase_clock.h"
+#include "exec/steal_queue.h"
 #include "exec/thread_pool.h"
 #include "obs/counters.h"
 #include "spatial/rtree.h"
@@ -47,68 +49,78 @@ struct Routed {
   Tuple tuple;
 };
 
-/// Per-logical-worker busy-time accumulator for one phase. Tasks call Add
-/// concurrently; the driver reads Makespan()/busy() after the phase drains
-/// (both still take the lock — the accumulator is far off the hot path).
-class PhaseClock {
- public:
-  explicit PhaseClock(int workers) : busy_(static_cast<size_t>(workers), 0.0) {}
+/// Per-runner state marker for steal phases whose tasks need no scratch.
+struct NoPhaseState {};
 
-  void Add(int worker, double seconds) PASJOIN_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    busy_[static_cast<size_t>(worker)] += seconds;
-  }
-
-  double Makespan() const PASJOIN_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    double mx = 0.0;
-    for (double b : busy_) mx = std::max(mx, b);
-    return mx;
-  }
-
-  std::vector<double> busy() const PASJOIN_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return busy_;
-  }
-
- private:
-  mutable Mutex mu_{"PhaseClock::mu_", lockrank::kEnginePhaseClock};
-  std::vector<double> busy_ PASJOIN_GUARDED_BY(mu_);
-};
-
-/// Runs `task(index)` for every index in [0, count) on the pool, attributing
-/// each task's elapsed time to `owner_of(index)` in `clock` (fast path: no
-/// retries, first exception propagates out of Wait()). When `trace` is set,
-/// the whole phase gets a `phase_name` span on the driver track and every
-/// task a `task_name` span on its owning worker's track, wrapping exactly
-/// the region the PhaseClock stopwatch measures.
+/// Work-stealing phase driver of the fast path (docs/PARALLELISM.md): runs
+/// `task(index, state)` for every index in [0, count) across the pool's
+/// threads. One runner per thread is submitted; each runner claims
+/// grain-sized index blocks from a StealQueue (own slice first, stealing
+/// once dry), so a straggling index range is finished by whichever thread
+/// frees up — logical workers stay a pure placement concept.
 ///
-/// Cancellation: once `cancel` fires, queued tasks are dropped (or skip
-/// their body if already dequeued), running tasks drain, and the token's
-/// status is returned — the phase's outputs must then be discarded.
-template <typename Task, typename OwnerOf>
-Status RunPhase(ThreadPool* pool, int count, PhaseClock* clock,
-                OwnerOf&& owner_of, Task&& task,
-                obs::TraceRecorder* trace = nullptr,
-                const char* phase_name = "phase",
-                const char* task_name = "task",
-                const CancellationToken& cancel = CancellationToken()) {
+/// Accounting: each index's elapsed time is attributed to
+/// `owner_of(index)`'s logical worker in `clock`, accumulated in a
+/// thread-confined PhaseClock::Shard and merged once per runner (the
+/// per-thread-accumulation idiom; no per-task locking). When `trace` is
+/// set, the phase gets a `phase_name` span on the driver track and every
+/// index a `task_name` span on its owning worker's track — physical
+/// interleaving is invisible in the trace by design.
+///
+/// Per-runner scratch: `make_state()` builds one state object per runner
+/// thread (kernel scratch, emission buffers); `finish(state)` runs once per
+/// runner after its last claim (flushing buffers into shared slots).
+///
+/// The measured wall time of the phase is added to `*measured_seconds`
+/// (the physical makespan, as opposed to the clock's simulated one).
+///
+/// Cancellation: once `cancel` fires, runners stop claiming (and skip
+/// remaining indices of a claimed block), queued runners are dropped, and
+/// the token's status is returned — the phase's outputs must then be
+/// discarded. Kernel-level polls inside `task` keep finer granularity.
+template <typename OwnerOf, typename MakeState, typename Task,
+          typename Finish>
+Status RunStealPhase(ThreadPool* pool, int count, int grain, PhaseClock* clock,
+                     const OwnerOf& owner_of, const MakeState& make_state,
+                     const Task& task, const Finish& finish,
+                     obs::TraceRecorder* trace, const char* phase_name,
+                     const char* task_name, const CancellationToken& cancel,
+                     double* measured_seconds) {
   obs::ScopedSpan phase_span(trace, phase_name, "phase");
   phase_span.SetTrack(obs::kDriverTrack);
   phase_span.AddArg("tasks", count);
-  for (int i = 0; i < count; ++i) {
-    pool->Submit([i, clock, trace, task_name, &owner_of, &task, &cancel] {
+  Stopwatch phase_wall;
+  const int runners = std::min(pool->num_threads(), count);
+  StealQueue queue(count, std::max(1, runners), grain);
+  for (int rnr = 0; rnr < runners; ++rnr) {
+    pool->Submit([rnr, clock, trace, task_name, &queue, &owner_of,
+                  &make_state, &task, &finish, &cancel] {
       if (cancel.IsCancelled()) return;  // dequeued after the cancel
-      const int w = owner_of(i);
-      obs::ScopedTrack track_scope(trace, w);
-      obs::ScopedSpan span(trace, task_name, "task");
-      span.AddArg("task", i);
-      Stopwatch watch;
-      task(i);
-      clock->Add(w, watch.ElapsedSeconds());
+      PhaseClock::Shard shard(clock->workers());
+      auto state = make_state();
+      int begin = 0;
+      int end = 0;
+      while (!cancel.IsCancelled() && queue.Next(rnr, &begin, &end)) {
+        for (int i = begin; i < end; ++i) {
+          if (cancel.IsCancelled()) break;
+          const int w = owner_of(i);
+          obs::ScopedTrack track_scope(trace, w);
+          obs::ScopedSpan span(trace, task_name, "task");
+          span.AddArg("task", i);
+          Stopwatch watch;
+          task(i, state);
+          shard.Add(w, watch.ElapsedSeconds());
+        }
+      }
+      finish(state);
+      clock->Merge(shard);
     });
   }
-  return pool->Wait(cancel);
+  Status st = pool->Wait(cancel);
+  if (measured_seconds != nullptr) {
+    *measured_seconds += phase_wall.ElapsedSeconds();
+  }
+  return st;
 }
 
 struct PartitionBuffers {
@@ -412,121 +424,183 @@ KernelDispatch ResolveKernel(const EngineOptions& options,
   return d;
 }
 
-/// SoA fast path of the join phase: per partition, gather each side into
-/// x-sorted struct-of-arrays buffers (two scratch instances reused across
-/// partitions) and run the forward sweep with batched emission straight
-/// into this worker's result vector. The self-join ordering filter runs as
-/// a batch pass over the partition's matches, not per pair.
-WorkerJoinOutput JoinWorkerStoreSoa(Store* store, const EngineOptions& options,
-                                    bool keep_pairs, obs::TraceRecorder* trace,
-                                    const spatial::KernelCancellation* cancel) {
-  WorkerJoinOutput out;
-  const bool self_join = options.self_join;
+/// Kernel scratch of one join runner thread. SoaPartition instances are
+/// strictly one-per-thread (spatial/sweep_kernel.h threading contract); the
+/// self-join filter scratch rides along. Reused across every partition the
+/// runner joins.
+struct PartitionJoinScratch {
   spatial::SoaPartition soa_r;
   spatial::SoaPartition soa_s;
-  std::vector<ResultPair> scratch;
-  for (auto& [part, buf] : *store) {
-    if (buf.r.empty() || buf.s.empty()) continue;
-    ++out.partitions;
-    obs::ScopedSpan span(trace, "join-partition", "engine");
-    span.SetStringArg("kernel", "sweep-soa");
-    span.AddArg("cell", part);
-    const spatial::JoinCounters before = out.counters;
-    soa_r.LoadSorted(buf.r, &out.timings, trace);
-    soa_s.LoadSorted(buf.s, &out.timings, trace);
+  std::vector<ResultPair> self_scratch;
+};
+
+/// Joins ONE partition's buffers, appending into the caller's accumulators
+/// (a runner's per-worker slice on the fast path, the WorkerJoinOutput on
+/// the fault path). May reorder buffer contents (the local join owns them)
+/// but never changes the produced multiset, so re-execution after a partial
+/// attempt is safe. The native SoA path polls `cancel` inside the sweep
+/// (kKernelPollGrain pivots) and pulses once per partition; type-erased
+/// kernels pulse their candidate count after the partition (their
+/// LocalJoinFn signature predates cancellation). The caller checks
+/// ShouldStop() between partitions and discards partial state.
+void JoinSinglePartition(PartitionId part, PartitionBuffers* buf,
+                         const EngineOptions& options,
+                         const KernelDispatch& kernel, bool keep_pairs,
+                         PartitionJoinScratch* scratch,
+                         std::vector<ResultPair>* pairs,
+                         spatial::JoinCounters* counters,
+                         spatial::KernelTimings* timings, uint64_t* filtered,
+                         obs::TraceRecorder* trace,
+                         const spatial::KernelCancellation* cancel) {
+  const bool self_join = options.self_join;
+  obs::ScopedSpan span(trace, "join-partition", "engine");
+  span.SetStringArg("kernel", kernel.name);
+  span.AddArg("cell", part);
+  const spatial::JoinCounters before = *counters;
+  if (kernel.use_soa) {
+    scratch->soa_r.LoadSorted(buf->r, timings, trace);
+    scratch->soa_s.LoadSorted(buf->s, timings, trace);
     if (self_join) {
       // The sweep sees every ordered match; keep r.id < s.id (each
       // unordered pair once) and count the rest so the phase total can be
       // corrected, exactly like the generic path's emit wrapper.
-      scratch.clear();
-      out.counters +=
-          spatial::SoaSweepJoin(soa_r, soa_s, options.eps, &scratch,
-                                &out.timings, trace, cancel);
+      scratch->self_scratch.clear();
+      *counters += spatial::SoaSweepJoin(scratch->soa_r, scratch->soa_s,
+                                         options.eps, &scratch->self_scratch,
+                                         timings, trace, cancel);
       Stopwatch filter_watch;
-      for (const ResultPair& p : scratch) {
+      for (const ResultPair& p : scratch->self_scratch) {
         if (p.r_id >= p.s_id) {
-          ++out.filtered;
+          ++*filtered;
           continue;
         }
-        if (keep_pairs) out.pairs.push_back(p);
+        if (keep_pairs) pairs->push_back(p);
       }
-      out.timings.emit_seconds += filter_watch.ElapsedSeconds();
-    } else if (keep_pairs) {
-      out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            &out.pairs, &out.timings, trace,
-                                            cancel);
+      timings->emit_seconds += filter_watch.ElapsedSeconds();
     } else {
-      out.counters += spatial::SoaSweepJoin(soa_r, soa_s, options.eps,
-                                            nullptr, &out.timings, trace,
-                                            cancel);
+      *counters += spatial::SoaSweepJoin(scratch->soa_r, scratch->soa_s,
+                                         options.eps,
+                                         keep_pairs ? pairs : nullptr,
+                                         timings, trace, cancel);
     }
-    span.AddArg("candidates", static_cast<int64_t>(out.counters.candidates -
-                                                   before.candidates));
-    span.AddArg("results",
-                static_cast<int64_t>(out.counters.results - before.results));
+    // Partition boundary counts as progress too.
+    if (cancel != nullptr) cancel->Pulse(1);
+  } else {
+    // In self-join mode the local join still sees every ordered match; the
+    // emit wrapper keeps only r.id < s.id (each unordered pair once) and
+    // the count is corrected after the phase.
+    const std::function<void(const Tuple&, const Tuple&)> emit =
+        [pairs, filtered, keep_pairs, self_join](const Tuple& a,
+                                                 const Tuple& b) {
+          if (self_join && a.id >= b.id) {
+            ++*filtered;
+            return;
+          }
+          if (keep_pairs) pairs->push_back(ResultPair{a.id, b.id});
+        };
+    *counters += kernel.fn(&buf->r, &buf->s, options.eps, emit);
     if (cancel != nullptr) {
-      cancel->Pulse(1);  // partition boundary counts as progress too
-      if (cancel->ShouldStop()) return out;  // partial; caller discards
+      cancel->Pulse(counters->candidates - before.candidates + 1);
     }
   }
-  return out;
+  span.AddArg("candidates",
+              static_cast<int64_t>(counters->candidates - before.candidates));
+  span.AddArg("results",
+              static_cast<int64_t>(counters->results - before.results));
 }
 
-/// Joins every non-empty partition of `store`. May reorder buffer contents
-/// (the local join owns them) but never changes the produced multiset, so
-/// re-execution after a partial attempt is safe. Cancellation granularity:
-/// the native SoA path polls inside the sweep (kKernelPollGrain pivots);
-/// type-erased kernels are polled between partitions only (their
-/// LocalJoinFn signature predates cancellation).
+/// Joins every non-empty partition of `store` (the fault-tolerant path's
+/// coarse per-worker join task; the fast path steals per-partition items
+/// instead).
 WorkerJoinOutput JoinWorkerStore(Store* store, const EngineOptions& options,
                                  const KernelDispatch& kernel, bool keep_pairs,
                                  obs::TraceRecorder* trace,
                                  const spatial::KernelCancellation* cancel) {
-  if (kernel.use_soa) {
-    return JoinWorkerStoreSoa(store, options, keep_pairs, trace, cancel);
-  }
   WorkerJoinOutput out;
-  std::vector<ResultPair>* pairs = keep_pairs ? &out.pairs : nullptr;
-  uint64_t* filtered = &out.filtered;
-  const bool self_join = options.self_join;
-  // In self-join mode the local join still sees every ordered match; the
-  // emit wrapper keeps only r.id < s.id (each unordered pair once) and the
-  // count is corrected after the phase.
-  std::function<void(const Tuple&, const Tuple&)> emit =
-      [pairs, filtered, self_join](const Tuple& a, const Tuple& b) {
-        if (self_join && a.id >= b.id) {
-          ++*filtered;
-          return;
-        }
-        if (pairs != nullptr) pairs->push_back(ResultPair{a.id, b.id});
-      };
+  PartitionJoinScratch scratch;
   for (auto& [part, buf] : *store) {
     if (buf.r.empty() || buf.s.empty()) continue;
     ++out.partitions;
-    obs::ScopedSpan span(trace, "join-partition", "engine");
-    span.SetStringArg("kernel", kernel.name);
-    span.AddArg("cell", part);
-    const spatial::JoinCounters before = out.counters;
-    out.counters += kernel.fn(&buf.r, &buf.s, options.eps, emit);
-    span.AddArg("candidates", static_cast<int64_t>(out.counters.candidates -
-                                                   before.candidates));
-    span.AddArg("results",
-                static_cast<int64_t>(out.counters.results - before.results));
-    if (cancel != nullptr) {
-      cancel->Pulse(out.counters.candidates - before.candidates + 1);
-      if (cancel->ShouldStop()) return out;  // partial; caller discards
+    JoinSinglePartition(part, &buf, options, kernel, keep_pairs, &scratch,
+                        &out.pairs, &out.counters, &out.timings,
+                        &out.filtered, trace, cancel);
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      return out;  // partial; caller discards
     }
   }
   return out;
 }
 
+/// One (worker, partition) unit of the fast path's stolen join phase. The
+/// buffer pointer stays valid for the whole phase: the stores are built
+/// before the items and never rehashed while the join runs.
+struct JoinItem {
+  int worker = 0;
+  PartitionId part = 0;
+  PartitionBuffers* buf = nullptr;
+};
+
+/// Shared merge slot of one logical worker's join output. Stealing runner
+/// threads flush their thread-local accumulators in here in batches; a
+/// runner holds at most one slot lock at a time (rank kEngineOutputMerge).
+struct WorkerMergeSlot {
+  Mutex mu{"WorkerMergeSlot::mu", lockrank::kEngineOutputMerge};
+  std::vector<ResultPair> pairs PASJOIN_GUARDED_BY(mu);
+  spatial::JoinCounters counters PASJOIN_GUARDED_BY(mu);
+  spatial::KernelTimings timings PASJOIN_GUARDED_BY(mu);
+  uint64_t partitions PASJOIN_GUARDED_BY(mu) = 0;
+  uint64_t filtered PASJOIN_GUARDED_BY(mu) = 0;
+};
+
+/// A runner's thread-local pair buffer is flushed into the shared slot once
+/// it exceeds this many pairs (and at runner finish), bounding thread-local
+/// memory while amortizing the slot lock over many partitions.
+constexpr size_t kPairFlushThreshold = size_t{1} << 15;
+
+/// Thread-local join state of one steal-phase runner: the kernel scratch
+/// plus per-worker emission accumulators flushed in batches into the
+/// shared merge slots.
+struct JoinThreadState {
+  explicit JoinThreadState(int workers) : acc(static_cast<size_t>(workers)) {}
+
+  struct WorkerAcc {
+    std::vector<ResultPair> pairs;
+    spatial::JoinCounters counters;
+    spatial::KernelTimings timings;
+    uint64_t partitions = 0;
+    uint64_t filtered = 0;
+  };
+
+  PartitionJoinScratch scratch;
+  std::vector<WorkerAcc> acc;
+};
+
+/// Flushes one per-worker accumulator into its shared slot and resets it.
+void FlushWorkerAcc(JoinThreadState::WorkerAcc* acc, WorkerMergeSlot* slot) {
+  MutexLock lock(&slot->mu);
+  slot->pairs.insert(slot->pairs.end(), acc->pairs.begin(), acc->pairs.end());
+  slot->counters += acc->counters;
+  slot->timings += acc->timings;
+  slot->partitions += acc->partitions;
+  slot->filtered += acc->filtered;
+  acc->pairs.clear();
+  acc->counters = spatial::JoinCounters{};
+  acc->timings = spatial::KernelTimings{};
+  acc->partitions = 0;
+  acc->filtered = 0;
+}
+
 /// Hash-partitions one worker's result pairs across `workers` dedup buckets.
+/// Routes through ResultPairShardHash (a splitmix64-finalized mix): the raw
+/// ResultPairHash leaves low-bit structure in place, which degenerated to
+/// severe shard imbalance for power-of-two-strided tuple ids on power-of-two
+/// worker counts (tests/common/shard_hash_test.cc documents the failure).
 /// Polls `cancel` every kKernelPollGrain pairs (partial output on cancel).
 std::vector<std::vector<ResultPair>> ScatterWorkerPairs(
     const std::vector<ResultPair>& pairs, int workers,
     const spatial::KernelCancellation* cancel) {
   std::vector<std::vector<ResultPair>> out(static_cast<size_t>(workers));
-  const ResultPairHash hasher;
+  const ResultPairShardHash hasher;
   for (size_t i = 0; i < pairs.size(); ++i) {
     const ResultPair& p = pairs[i];
     out[hasher(p) % static_cast<size_t>(workers)].push_back(p);
@@ -679,96 +753,142 @@ Result<JoinRun> RunFastPath(const Dataset& r, const Dataset& s,
   JoinRun run;
   JobMetrics& m = run.metrics;
   m.workers = workers;
+  m.physical_threads = pool.num_threads();
   Stopwatch wall;
+  double measured_construction = 0.0;
+  double measured_join = 0.0;
+  double measured_dedup = 0.0;
 
   // ---------------------------------------------------------------- map ---
   // Each relation is divided into `num_splits` contiguous splits; split k is
   // co-located with logical worker k % workers (its "HDFS block locality").
+  // Every map task writes its own output slot, so stealing needs no merge.
   const int total_map_tasks = 2 * num_splits;
   std::vector<MapTaskOutput> map_out(static_cast<size_t>(total_map_tasks));
   PhaseClock map_clock(workers);
   auto map_owner = [&](int task) { return (task % num_splits) % workers; };
   {
-    Status st = RunPhase(&pool, total_map_tasks, &map_clock, map_owner,
-                         [&](int task) {
-      map_out[static_cast<size_t>(task)] =
-          ComputeMapTask(task, r, s, assign, owner, options, num_splits,
-                         workers, &job_cancel);
-    }, trace, "phase-map", "map-task", job_token);
+    Status st = RunStealPhase(
+        &pool, total_map_tasks, /*grain=*/1, &map_clock, map_owner,
+        [] { return NoPhaseState{}; },
+        [&](int task, NoPhaseState&) {
+          map_out[static_cast<size_t>(task)] =
+              ComputeMapTask(task, r, s, assign, owner, options, num_splits,
+                             workers, &job_cancel);
+        },
+        [](NoPhaseState&) {}, trace, "phase-map", "map-task", job_token,
+        &measured_construction);
     if (!st.ok()) return st;
   }
   AccumulateMapMetrics(map_out, num_splits, reg);
 
   // ------------------------------------------------------------ regroup ---
   // Each worker gathers its inbound tuples into per-partition buffers; the
-  // fast path moves them out of the map outputs and frees the shuffle early.
+  // fast path moves them out of the map outputs and frees the shuffle
+  // early. Stolen at worker granularity: each index touches only its own
+  // worker's by_worker slots, and walking the map outputs in task order
+  // keeps every buffer's tuple order deterministic.
   std::vector<Store> stores(static_cast<size_t>(workers));
   PhaseClock regroup_clock(workers);
   {
-    Status st = RunPhase(&pool, workers, &regroup_clock,
-                         [](int w) { return w; }, [&](int w) {
-      Store& store = stores[static_cast<size_t>(w)];
-      for (MapTaskOutput& out : map_out) {
-        if (out.by_worker.empty()) continue;
-        for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
-          PartitionBuffers& buf = store[routed.part];
-          (routed.side == Side::kR ? buf.r : buf.s)
-              .push_back(std::move(routed.tuple));
-        }
-        out.by_worker[static_cast<size_t>(w)].clear();
-      }
-    }, trace, "phase-regroup", "regroup-task", job_token);
+    Status st = RunStealPhase(
+        &pool, workers, /*grain=*/1, &regroup_clock,
+        [](int w) { return w; }, [] { return NoPhaseState{}; },
+        [&](int w, NoPhaseState&) {
+          Store& store = stores[static_cast<size_t>(w)];
+          for (MapTaskOutput& out : map_out) {
+            if (out.by_worker.empty()) continue;
+            for (Routed& routed : out.by_worker[static_cast<size_t>(w)]) {
+              PartitionBuffers& buf = store[routed.part];
+              (routed.side == Side::kR ? buf.r : buf.s)
+                  .push_back(std::move(routed.tuple));
+            }
+            out.by_worker[static_cast<size_t>(w)].clear();
+          }
+        },
+        [](NoPhaseState&) {}, trace, "phase-regroup", "regroup-task",
+        job_token, &measured_construction);
     if (!st.ok()) return st;
   }
   map_out.clear();
   map_out.shrink_to_fit();
 
   // --------------------------------------------------------------- join ---
+  // The stolen unit is one (worker, partition) pair, not one worker: LPT
+  // placement decides which logical worker OWNS a partition (lineage,
+  // accounting, trace track), stealing decides which thread JOINS it. The
+  // item list is deterministic — per worker, partitions sorted by id — so
+  // results never depend on hash-map iteration or claim order.
   const bool keep_pairs = options.collect_results || options.deduplicate;
-  std::vector<std::vector<ResultPair>> worker_pairs(
-      static_cast<size_t>(workers));
-  std::vector<spatial::JoinCounters> worker_counters(
-      static_cast<size_t>(workers));
-  std::vector<uint64_t> worker_partitions(static_cast<size_t>(workers), 0);
-  std::vector<uint64_t> worker_filtered(static_cast<size_t>(workers), 0);
-  std::vector<spatial::KernelTimings> worker_timings(
-      static_cast<size_t>(workers));
+  std::vector<JoinItem> join_items;
+  for (int w = 0; w < workers; ++w) {
+    Store& store = stores[static_cast<size_t>(w)];
+    const size_t first = join_items.size();
+    for (auto& [part, buf] : store) {
+      if (buf.r.empty() || buf.s.empty()) continue;
+      join_items.push_back(JoinItem{w, part, &buf});
+    }
+    std::sort(join_items.begin() + static_cast<std::ptrdiff_t>(first),
+              join_items.end(),
+              [](const JoinItem& a, const JoinItem& b) {
+                return a.part < b.part;
+              });
+  }
+  std::vector<WorkerMergeSlot> merge_slots(static_cast<size_t>(workers));
   PhaseClock join_clock(workers);
   {
-    Status st = RunPhase(&pool, workers, &join_clock,
-                         [](int w) { return w; }, [&](int w) {
-      WorkerJoinOutput out =
-          JoinWorkerStore(&stores[static_cast<size_t>(w)], options, kernel,
-                          keep_pairs, trace, &job_cancel);
-      worker_pairs[static_cast<size_t>(w)] = std::move(out.pairs);
-      worker_counters[static_cast<size_t>(w)] = out.counters;
-      worker_partitions[static_cast<size_t>(w)] = out.partitions;
-      worker_filtered[static_cast<size_t>(w)] = out.filtered;
-      worker_timings[static_cast<size_t>(w)] = out.timings;
-    }, trace, "phase-join", "join-task", job_token);
+    const int item_count = static_cast<int>(join_items.size());
+    Status st = RunStealPhase(
+        &pool, item_count,
+        StealQueue::DefaultGrain(item_count, pool.num_threads()), &join_clock,
+        [&](int i) { return join_items[static_cast<size_t>(i)].worker; },
+        [&] { return JoinThreadState(workers); },
+        [&](int i, JoinThreadState& state) {
+          const JoinItem& item = join_items[static_cast<size_t>(i)];
+          JoinThreadState::WorkerAcc& acc =
+              state.acc[static_cast<size_t>(item.worker)];
+          ++acc.partitions;
+          JoinSinglePartition(item.part, item.buf, options, kernel,
+                              keep_pairs, &state.scratch, &acc.pairs,
+                              &acc.counters, &acc.timings, &acc.filtered,
+                              trace, &job_cancel);
+          if (acc.pairs.size() >= kPairFlushThreshold) {
+            FlushWorkerAcc(&acc,
+                           &merge_slots[static_cast<size_t>(item.worker)]);
+          }
+        },
+        [&](JoinThreadState& state) {
+          for (int w = 0; w < workers; ++w) {
+            FlushWorkerAcc(&state.acc[static_cast<size_t>(w)],
+                           &merge_slots[static_cast<size_t>(w)]);
+          }
+        },
+        trace, "phase-join", "join-task", job_token, &measured_join);
     if (!st.ok()) return st;
   }
   m.local_kernel = kernel.name;
+  std::vector<std::vector<ResultPair>> worker_pairs(
+      static_cast<size_t>(workers));
   {
     uint64_t candidates = 0;
     uint64_t results = 0;
     uint64_t partitions = 0;
     for (int w = 0; w < workers; ++w) {
-      candidates += worker_counters[static_cast<size_t>(w)].candidates;
-      results += worker_counters[static_cast<size_t>(w)].results -
-                 worker_filtered[static_cast<size_t>(w)];
-      partitions += worker_partitions[static_cast<size_t>(w)];
-      m.kernel_sort_seconds +=
-          worker_timings[static_cast<size_t>(w)].sort_seconds;
-      m.kernel_sweep_seconds +=
-          worker_timings[static_cast<size_t>(w)].sweep_seconds;
-      m.kernel_emit_seconds +=
-          worker_timings[static_cast<size_t>(w)].emit_seconds;
+      WorkerMergeSlot& slot = merge_slots[static_cast<size_t>(w)];
+      MutexLock lock(&slot.mu);
+      worker_pairs[static_cast<size_t>(w)] = std::move(slot.pairs);
+      candidates += slot.counters.candidates;
+      results += slot.counters.results - slot.filtered;
+      partitions += slot.partitions;
+      m.kernel_sort_seconds += slot.timings.sort_seconds;
+      m.kernel_sweep_seconds += slot.timings.sweep_seconds;
+      m.kernel_emit_seconds += slot.timings.emit_seconds;
     }
     reg->Add("candidates", candidates);
     reg->Add("results", results);
     reg->Add("partitions_joined", partitions);
   }
+  join_items.clear();
   stores.clear();
 
   // -------------------------------------------------------------- dedup ---
@@ -781,11 +901,15 @@ Result<JoinRun> RunFastPath(const Dataset& r, const Dataset& s,
         static_cast<size_t>(workers));
     PhaseClock scatter_clock(workers);
     {
-      Status st = RunPhase(&pool, workers, &scatter_clock,
-                           [](int w) { return w; }, [&](int w) {
-        buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
-            worker_pairs[static_cast<size_t>(w)], workers, &job_cancel);
-      }, trace, "phase-dedup-scatter", "dedup-scatter-task", job_token);
+      Status st = RunStealPhase(
+          &pool, workers, /*grain=*/1, &scatter_clock,
+          [](int w) { return w; }, [] { return NoPhaseState{}; },
+          [&](int w, NoPhaseState&) {
+            buckets[static_cast<size_t>(w)] = ScatterWorkerPairs(
+                worker_pairs[static_cast<size_t>(w)], workers, &job_cancel);
+          },
+          [](NoPhaseState&) {}, trace, "phase-dedup-scatter",
+          "dedup-scatter-task", job_token, &measured_dedup);
       if (!st.ok()) return st;
     }
     // Pair bytes crossing workers count as shuffle traffic.
@@ -794,13 +918,17 @@ Result<JoinRun> RunFastPath(const Dataset& r, const Dataset& s,
         static_cast<size_t>(workers));
     std::vector<uint64_t> unique_counts(static_cast<size_t>(workers), 0);
     {
-      Status st = RunPhase(&pool, workers, &dedup_clock,
-                           [](int w) { return w; }, [&](int w) {
-        DedupMergeOutput out = MergeDedupBucket(
-            buckets, w, workers, options.collect_results, &job_cancel);
-        unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
-        unique_counts[static_cast<size_t>(w)] = out.count;
-      }, trace, "phase-dedup-merge", "dedup-merge-task", job_token);
+      Status st = RunStealPhase(
+          &pool, workers, /*grain=*/1, &dedup_clock,
+          [](int w) { return w; }, [] { return NoPhaseState{}; },
+          [&](int w, NoPhaseState&) {
+            DedupMergeOutput out = MergeDedupBucket(
+                buckets, w, workers, options.collect_results, &job_cancel);
+            unique_pairs[static_cast<size_t>(w)] = std::move(out.unique);
+            unique_counts[static_cast<size_t>(w)] = out.count;
+          },
+          [](NoPhaseState&) {}, trace, "phase-dedup-merge",
+          "dedup-merge-task", job_token, &measured_dedup);
       if (!st.ok()) return st;
     }
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
@@ -827,6 +955,9 @@ Result<JoinRun> RunFastPath(const Dataset& r, const Dataset& s,
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
+  m.measured_construction_seconds = measured_construction;
+  m.measured_join_seconds = measured_join;
+  m.measured_dedup_seconds = measured_dedup;
   SnapshotCounters(*reg, &m);
   m.wall_seconds = wall.ElapsedSeconds();
   if (!options.deadline.unlimited()) {
@@ -1300,7 +1431,9 @@ class RecoveringPhaseRunner {
 };
 
 /// Executes `count` tasks of `phase` through a RecoveringPhaseRunner,
-/// recording the phase span and the (one-shot) worker-loss transition.
+/// recording the phase span and the (one-shot) worker-loss transition. The
+/// phase's measured wall time is added to `*measured_seconds` (null skips
+/// the accounting), mirroring the fast path's RunStealPhase.
 Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
                           PhaseClock* clock,
                           const std::function<int(int)>& owner_of,
@@ -1308,11 +1441,13 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
                           FaultStats* stats, obs::TraceRecorder* trace,
                           const char* phase_name, const char* task_name,
                           const CancellationToken& job_token,
-                          Watchdog* watchdog, const TaskBody& body) {
+                          Watchdog* watchdog, const TaskBody& body,
+                          double* measured_seconds) {
   if (count <= 0) return Status::OK();
   obs::ScopedSpan phase_span(trace, phase_name, "phase");
   phase_span.SetTrack(obs::kDriverTrack);
   phase_span.AddArg("tasks", count);
+  Stopwatch phase_wall;
   const bool lose_here = injector.LosesWorkerIn(phase);
   if (lose_here) {
     *worker_lost = true;
@@ -1326,7 +1461,11 @@ Status RunRecoveringPhase(ThreadPool* pool, Phase phase, int count, int workers,
   RecoveringPhaseRunner runner(pool, phase, count, clock, owner_of, injector,
                                lose_here, lost_active, survivor, stats, trace,
                                task_name, job_token, watchdog, body);
-  return runner.Run();
+  Status st = runner.Run();
+  if (measured_seconds != nullptr) {
+    *measured_seconds += phase_wall.ElapsedSeconds();
+  }
+  return st;
 }
 
 /// One worker's regrouped partition buffers plus the lineage to rebuild
@@ -1383,7 +1522,11 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   JoinRun run;
   JobMetrics& m = run.metrics;
   m.workers = workers;
+  m.physical_threads = pool.num_threads();
   Stopwatch wall;
+  double measured_construction = 0.0;
+  double measured_join = 0.0;
+  double measured_dedup = 0.0;
 
   // ---------------------------------------------------------------- map ---
   const int total_map_tasks = 2 * num_splits;
@@ -1404,7 +1547,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     Status st = RunRecoveringPhase(&pool, Phase::kMap, total_map_tasks,
                                    workers, &map_clock, map_owner, injector,
                                    &worker_lost, &stats, trace, "phase-map",
-                                   "map-task", job_token, &watchdog, body);
+                                   "map-task", job_token, &watchdog, body,
+                                   &measured_construction);
     if (!st.ok()) return st;
   }
   AccumulateMapMetrics(map_out, num_splits, reg);
@@ -1434,7 +1578,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                    &regroup_clock, identity, injector,
                                    &worker_lost, &stats, trace,
                                    "phase-regroup", "regroup-task", job_token,
-                                   &watchdog, body);
+                                   &watchdog, body, &measured_construction);
     if (!st.ok()) return st;
   }
 
@@ -1488,7 +1632,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
     Status st = RunRecoveringPhase(&pool, Phase::kJoin, workers, workers,
                                    &join_clock, identity, injector,
                                    &worker_lost, &stats, trace, "phase-join",
-                                   "join-task", job_token, &watchdog, body);
+                                   "join-task", job_token, &watchdog, body,
+                                   &measured_join);
     if (!st.ok()) return st;
   }
   m.local_kernel = kernel.name;
@@ -1540,7 +1685,7 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                      injector, &worker_lost, &stats, trace,
                                      "phase-dedup-scatter",
                                      "dedup-scatter-task", job_token,
-                                     &watchdog, body);
+                                     &watchdog, body, &measured_dedup);
       if (!st.ok()) return st;
     }
     AccumulateDedupShuffle(buckets, workers, reg);
@@ -1561,7 +1706,8 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
                                      workers, &dedup_clock, identity, injector,
                                      &worker_lost, &stats, trace,
                                      "phase-dedup-merge", "dedup-merge-task",
-                                     job_token, &watchdog, body);
+                                     job_token, &watchdog, body,
+                                     &measured_dedup);
       if (!st.ok()) return st;
     }
     m.dedup_seconds = scatter_clock.Makespan() + dedup_clock.Makespan();
@@ -1589,6 +1735,9 @@ Result<JoinRun> RunFaultTolerant(const Dataset& r, const Dataset& s,
   m.construction_seconds = map_clock.Makespan() + regroup_clock.Makespan();
   m.join_seconds = join_clock.Makespan();
   m.worker_busy_join = join_clock.busy();
+  m.measured_construction_seconds = measured_construction;
+  m.measured_join_seconds = measured_join;
+  m.measured_dedup_seconds = measured_dedup;
   reg->Add("tasks_failed", stats.failed);
   reg->Add("tasks_retried", stats.retried);
   reg->Add("tasks_speculated", stats.speculated);

@@ -58,6 +58,14 @@ std::string JobMetrics::ToString() const {
           candidates, results, construction_seconds, join_seconds,
           dedup_seconds, TotalSeconds(), wall_seconds, workers,
           JoinImbalance());
+  if (physical_threads > 0) {
+    AppendF(&out,
+            " threads=%d measured[constr=%.3fs join=%.3fs dedup=%.3fs "
+            "total=%.3fs]",
+            physical_threads, measured_construction_seconds,
+            measured_join_seconds, measured_dedup_seconds,
+            MeasuredTotalSeconds());
+  }
   if (!local_kernel.empty()) {
     AppendF(&out, " kernel=%s[sort=%.3fs sweep=%.3fs emit=%.3fs]",
             local_kernel.c_str(), kernel_sort_seconds, kernel_sweep_seconds,
@@ -113,8 +121,18 @@ void PublishMetricGauges(const JobMetrics& metrics,
   registry->SetGauge("kernel_sort_seconds", metrics.kernel_sort_seconds);
   registry->SetGauge("kernel_sweep_seconds", metrics.kernel_sweep_seconds);
   registry->SetGauge("kernel_emit_seconds", metrics.kernel_emit_seconds);
+  registry->SetGauge("measured_construction_seconds",
+                     metrics.measured_construction_seconds);
+  registry->SetGauge("measured_join_seconds", metrics.measured_join_seconds);
+  registry->SetGauge("measured_dedup_seconds",
+                     metrics.measured_dedup_seconds);
+  registry->SetGauge("measured_total_seconds", metrics.MeasuredTotalSeconds());
   registry->Set("workers", static_cast<uint64_t>(
                                metrics.workers > 0 ? metrics.workers : 0));
+  registry->Set("physical_threads",
+                static_cast<uint64_t>(
+                    metrics.physical_threads > 0 ? metrics.physical_threads
+                                                 : 0));
 }
 
 }  // namespace pasjoin::exec

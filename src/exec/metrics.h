@@ -75,6 +75,26 @@ struct JobMetrics {
   /// TotalSeconds on hosts with fewer cores than logical workers).
   double wall_seconds = 0.0;
 
+  /// Measured wall-clock seconds of each phase group on THIS host, under
+  /// the real work-stealing execution (docs/PARALLELISM.md) — the physical
+  /// counterpart of the simulated per-worker model above. Construction
+  /// covers map + regroup (plus sequential driver work, added by the
+  /// drivers exactly like construction_seconds); join and dedup cover their
+  /// phases' wall time including steal/merge overhead.
+  double measured_construction_seconds = 0.0;
+  double measured_join_seconds = 0.0;
+  double measured_dedup_seconds = 0.0;
+  /// Total measured execution time.
+  double MeasuredTotalSeconds() const {
+    return measured_construction_seconds + measured_join_seconds +
+           measured_dedup_seconds;
+  }
+
+  /// Physical threads the engine's pool executed with (0 when the job never
+  /// reached execution). Distinct from `workers`: logical workers are a
+  /// placement concept, threads are who actually ran the stolen tasks.
+  int physical_threads = 0;
+
   // --- fault tolerance (docs/FAULT_TOLERANCE.md) ---------------------------
   /// Task attempts that failed: injected faults, simulated worker loss, and
   /// exceptions observed by the recovery runner.

@@ -63,6 +63,11 @@ class ThreadPool {
   /// Task exceptions are reported exactly like Wait() — rethrown even when
   /// the wait was cancelled. Returns OK when all tasks completed.
   ///
+  /// Cancellation latency is signal-delivery latency, not a poll period:
+  /// the wait registers a callback on the token that wakes it directly, so
+  /// queued tasks are dropped as soon as the cancel fires (asserted at
+  /// sub-poll-interval precision by ThreadPoolCancelTest).
+  ///
   /// Only for callers whose per-task completion accounting does not
   /// outlive the drop: the engine's RecoveringPhaseRunner tracks every
   /// attempt itself and must never use this (a dropped task would leak an

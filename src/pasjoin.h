@@ -50,6 +50,8 @@
 #include "exec/engine.h"                  // IWYU pragma: export
 #include "exec/fault_injector.h"          // IWYU pragma: export
 #include "exec/metrics.h"                 // IWYU pragma: export
+#include "exec/phase_clock.h"             // IWYU pragma: export
+#include "exec/steal_queue.h"             // IWYU pragma: export
 #include "exec/thread_pool.h"             // IWYU pragma: export
 #include "extent/extent_join.h"           // IWYU pragma: export
 #include "extent/generators.h"            // IWYU pragma: export

@@ -35,6 +35,10 @@ constexpr size_t kRadixBuckets = size_t{1} << kRadixBits;
 void SoaPartition::LoadSorted(const std::vector<Tuple>& tuples,
                               KernelTimings* timings,
                               obs::TraceRecorder* trace) {
+  // One-kernel-per-thread contract (see the class comment): concurrent
+  // entry means a shared instance whose scratch is being corrupted — abort
+  // now instead of emitting a silently wrong join.
+  PASJOIN_CHECK(!loading_.exchange(true, std::memory_order_acquire));
   obs::ScopedSpan span(trace, "kernel-sort", "kernel");
   span.AddArg("points", static_cast<int64_t>(tuples.size()));
   Stopwatch watch;
@@ -114,6 +118,7 @@ void SoaPartition::LoadSorted(const std::vector<Tuple>& tuples,
     id_[i] = id_scratch_[from];
   }
   if (timings != nullptr) timings->sort_seconds += watch.ElapsedSeconds();
+  loading_.store(false, std::memory_order_release);
 }
 
 namespace {

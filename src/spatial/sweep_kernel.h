@@ -41,6 +41,7 @@
 #ifndef PASJOIN_SPATIAL_SWEEP_KERNEL_H_
 #define PASJOIN_SPATIAL_SWEEP_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -78,9 +79,21 @@ struct KernelTimings {
 /// arrays sorted by x. Reusable across partitions (LoadSorted clears and
 /// refills without shrinking capacity), so a worker thread needs exactly
 /// one scratch instance per side.
+///
+/// THREADING CONTRACT — one kernel instance per thread. The scratch
+/// members below (sort keys, radix histogram, pre-gather columns) make an
+/// instance non-reentrant: two threads calling LoadSorted on the SAME
+/// instance silently corrupt each other's sort state and the resulting
+/// join output. Stealing executors must give every runner thread its own
+/// instance (the engine keeps them in per-runner phase state); sharing is
+/// caught at runtime by a reentrancy guard that aborts the process instead
+/// of producing wrong results. Concurrent *reads* of a loaded partition
+/// (x()/y()/id(), SoaSweepJoin sources) remain safe.
 class SoaPartition {
  public:
   SoaPartition() = default;
+  SoaPartition(const SoaPartition&) = delete;
+  SoaPartition& operator=(const SoaPartition&) = delete;
 
   /// Rebuilds the arrays from `tuples`, sorted ascending by x. Ties are
   /// broken by the original index, making the layout deterministic. When
@@ -111,6 +124,11 @@ class SoaPartition {
   std::vector<double> x_scratch_;
   std::vector<double> y_scratch_;
   std::vector<int64_t> id_scratch_;
+  /// Reentrancy guard for the one-instance-per-thread contract: set for the
+  /// duration of LoadSorted; a second thread entering while it is set means
+  /// the instance is shared across threads — the process aborts rather than
+  /// corrupt the sort scratch (tests/spatial/sweep_kernel_reentrancy_test).
+  std::atomic<bool> loading_{false};
 };
 
 /// Forward plane-sweep eps-distance join over two x-sorted SoA partitions.

@@ -111,6 +111,48 @@ TEST(JobMetricsTest, ToStringNeverTruncates) {
   }
 }
 
+TEST(JobMetricsTest, MeasuredTotals) {
+  JobMetrics m;
+  m.measured_construction_seconds = 0.5;
+  m.measured_join_seconds = 1.0;
+  m.measured_dedup_seconds = 0.25;
+  EXPECT_DOUBLE_EQ(m.MeasuredTotalSeconds(), 1.75);
+}
+
+TEST(JobMetricsTest, ToStringReportsMeasuredBlockOnlyWhenExecuted) {
+  JobMetrics m;
+  m.algorithm = "LPiB";
+  // physical_threads == 0 means the job never reached execution: no
+  // measured block (and no misleading zeros).
+  EXPECT_EQ(m.ToString().find("measured["), std::string::npos);
+
+  m.physical_threads = 4;
+  m.measured_construction_seconds = 0.125;
+  m.measured_join_seconds = 0.25;
+  m.measured_dedup_seconds = 0.5;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("threads=4"), std::string::npos) << s;
+  EXPECT_NE(s.find("measured[constr=0.125s join=0.250s dedup=0.500s "
+                   "total=0.875s]"),
+            std::string::npos)
+      << s;
+}
+
+TEST(JobMetricsTest, MeasuredGaugesArePublished) {
+  obs::CounterRegistry reg;
+  JobMetrics m;
+  m.measured_construction_seconds = 0.5;
+  m.measured_join_seconds = 1.5;
+  m.measured_dedup_seconds = 0.25;
+  m.physical_threads = 8;
+  PublishMetricGauges(m, &reg);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("measured_construction_seconds"), 0.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("measured_join_seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("measured_dedup_seconds"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("measured_total_seconds"), 2.25);
+  EXPECT_EQ(reg.Get("physical_threads"), 8u);
+}
+
 TEST(JobMetricsTest, SingleFieldLongerThanStackBufferSurvives) {
   // The append helper's heap fallback: one field > 256 bytes on its own.
   JobMetrics m;

@@ -1,0 +1,198 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// The work-stealing engine's determinism contract (docs/PARALLELISM.md):
+// physical thread count is an execution detail, never an observable. For
+// every (kernel, logical-worker count, fault injection) configuration, a
+// run with N threads must produce byte-identical sorted result pairs and
+// identical counters to the single-threaded run — stealing only changes
+// WHERE work executes, all outputs are written to task-indexed slots or
+// folded through order-insensitive merges. Runs under TSan in the
+// multicore CI lane (label: stress), where a data race in the steal/merge
+// machinery shows up as a sanitizer report even when the outputs happen to
+// agree.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "test_util.h"
+
+namespace pasjoin::exec {
+namespace {
+
+using pasjoin::testing::MakeDataset;
+
+/// 1-D band partitioner over [0, 10): partition = floor(x), R replicated
+/// into every neighbor partition its eps-ball touches — so the join emits
+/// cross-partition duplicates and the dedup phases do real work.
+AssignFn BandAssign(double eps) {
+  return [eps](const Tuple& t, Side side) {
+    PartitionList out;
+    const int native = std::clamp(static_cast<int>(t.pt.x), 0, 9);
+    out.push_back(native);
+    if (side == Side::kR) {
+      const int lo = std::clamp(static_cast<int>(t.pt.x - eps), 0, 9);
+      const int hi = std::clamp(static_cast<int>(t.pt.x + eps), 0, 9);
+      for (int p = lo; p <= hi; ++p) {
+        if (p != native) out.push_back(p);
+      }
+    }
+    return out;
+  };
+}
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.NextUniform(0, 10), rng.NextUniform(0, 1)});
+  }
+  return pts;
+}
+
+struct MatrixCase {
+  spatial::LocalJoinKernel kernel;
+  int workers;
+  bool fault;
+};
+
+std::string CaseName(const MatrixCase& c) {
+  std::string name;
+  switch (c.kernel) {
+    case spatial::LocalJoinKernel::kSweepSoA: name = "sweep-soa"; break;
+    case spatial::LocalJoinKernel::kPlaneSweep: name = "plane-sweep"; break;
+    case spatial::LocalJoinKernel::kNestedLoop: name = "nested-loop"; break;
+    case spatial::LocalJoinKernel::kRTree: name = "rtree"; break;
+  }
+  name += "/W" + std::to_string(c.workers);
+  name += c.fault ? "/fault" : "/clean";
+  return name;
+}
+
+EngineOptions CaseOptions(const MatrixCase& c, int threads) {
+  EngineOptions options;
+  options.eps = 0.25;
+  options.workers = c.workers;
+  options.num_splits = 8;
+  options.physical_threads = threads;
+  options.collect_results = true;
+  options.deduplicate = true;  // replication makes real duplicates
+  options.local_kernel = c.kernel;
+  if (c.fault) {
+    options.fault.enabled = true;
+    options.fault.seed = 0xD15EA5E0ULL + static_cast<uint64_t>(c.workers);
+    options.fault.map_failure_p = 0.15;
+    options.fault.join_failure_p = 0.2;
+    options.fault.max_retries = 6;
+    options.fault.backoff_base_ms = 0.05;
+  }
+  return options;
+}
+
+void ExpectIdentical(const JoinRun& base, const JoinRun& run,
+                     const std::string& label) {
+  EXPECT_EQ(run.pairs, base.pairs) << label;
+  const JobMetrics& a = base.metrics;
+  const JobMetrics& b = run.metrics;
+  EXPECT_EQ(a.replicated_r, b.replicated_r) << label;
+  EXPECT_EQ(a.replicated_s, b.replicated_s) << label;
+  EXPECT_EQ(a.shuffled_tuples, b.shuffled_tuples) << label;
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes) << label;
+  EXPECT_EQ(a.shuffle_remote_bytes, b.shuffle_remote_bytes) << label;
+  EXPECT_EQ(a.candidates, b.candidates) << label;
+  EXPECT_EQ(a.results, b.results) << label;
+  EXPECT_EQ(a.partitions_joined, b.partitions_joined) << label;
+  EXPECT_EQ(a.local_kernel, b.local_kernel) << label;
+}
+
+TEST(ParallelDeterminismTest, ThreadCountIsNeverObservable) {
+  const Dataset r = MakeDataset(RandomPoints(500, 71), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(500, 72), 100000, "S");
+  const AssignFn assign = BandAssign(0.25);
+
+  const std::vector<MatrixCase> cases = {
+      {spatial::LocalJoinKernel::kSweepSoA, 3, false},
+      {spatial::LocalJoinKernel::kSweepSoA, 8, false},
+      {spatial::LocalJoinKernel::kSweepSoA, 8, true},
+      {spatial::LocalJoinKernel::kPlaneSweep, 3, false},
+      {spatial::LocalJoinKernel::kPlaneSweep, 8, true},
+      {spatial::LocalJoinKernel::kRTree, 3, false},
+      {spatial::LocalJoinKernel::kRTree, 8, false},
+      {spatial::LocalJoinKernel::kRTree, 8, true},
+  };
+
+  for (const MatrixCase& c : cases) {
+    const OwnerFn owner = [w = c.workers](PartitionId p) {
+      return static_cast<int>(p) % w;
+    };
+    // Baseline: one physical thread. Stealing degenerates to sequential
+    // execution, so this is the reference the parallel runs must match.
+    JoinRun base =
+        RunPartitionedJoin(r, s, assign, owner, CaseOptions(c, 1));
+    std::sort(base.pairs.begin(), base.pairs.end());
+    EXPECT_GT(base.metrics.results, 0u) << CaseName(c);
+    EXPECT_EQ(base.metrics.physical_threads, 1) << CaseName(c);
+
+    for (int threads : {2, 5}) {
+      JoinRun run =
+          RunPartitionedJoin(r, s, assign, owner, CaseOptions(c, threads));
+      std::sort(run.pairs.begin(), run.pairs.end());
+      EXPECT_EQ(run.metrics.physical_threads, threads) << CaseName(c);
+      ExpectIdentical(base, run,
+                      CaseName(c) + "/T" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreIdentical) {
+  // Same configuration, several parallel runs: scheduling noise between
+  // runs must not leak into any output (catches merge-order dependence
+  // that a single parallel-vs-sequential comparison could miss by luck).
+  const Dataset r = MakeDataset(RandomPoints(400, 81), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 82), 50000, "S");
+  const AssignFn assign = BandAssign(0.25);
+  const OwnerFn owner = [](PartitionId p) { return static_cast<int>(p) % 8; };
+  const MatrixCase c{spatial::LocalJoinKernel::kSweepSoA, 8, false};
+
+  JoinRun first = RunPartitionedJoin(r, s, assign, owner, CaseOptions(c, 5));
+  std::sort(first.pairs.begin(), first.pairs.end());
+  ASSERT_GT(first.pairs.size(), 0u);
+  for (int rep = 0; rep < 4; ++rep) {
+    JoinRun again =
+        RunPartitionedJoin(r, s, assign, owner, CaseOptions(c, 5));
+    std::sort(again.pairs.begin(), again.pairs.end());
+    ExpectIdentical(first, again, "rep " + std::to_string(rep));
+  }
+}
+
+TEST(ParallelDeterminismTest, NoDedupPathIsDeterministicToo) {
+  // Without dedup the engine concatenates per-worker pair vectors in worker
+  // order; the merge-slot fold must keep each worker's multiset intact no
+  // matter which threads produced it.
+  const Dataset r = MakeDataset(RandomPoints(400, 91), 0, "R");
+  const Dataset s = MakeDataset(RandomPoints(400, 92), 50000, "S");
+  const AssignFn assign = BandAssign(0.25);
+  const OwnerFn owner = [](PartitionId p) { return static_cast<int>(p) % 4; };
+
+  EngineOptions options;
+  options.eps = 0.25;
+  options.workers = 4;
+  options.num_splits = 8;
+  options.collect_results = true;
+
+  options.physical_threads = 1;
+  JoinRun base = RunPartitionedJoin(r, s, assign, owner, options);
+  std::sort(base.pairs.begin(), base.pairs.end());
+  for (int threads : {2, 5}) {
+    options.physical_threads = threads;
+    JoinRun run = RunPartitionedJoin(r, s, assign, owner, options);
+    std::sort(run.pairs.begin(), run.pairs.end());
+    ExpectIdentical(base, run, "T" + std::to_string(threads));
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

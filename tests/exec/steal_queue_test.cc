@@ -1,0 +1,97 @@
+// Copyright 2026 The pasjoin Authors.
+#include "exec/steal_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pasjoin::exec {
+namespace {
+
+// Drains `queue` from shard `home` and marks every claimed index in `hits`.
+void Drain(StealQueue* queue, int home, std::vector<std::atomic<int>>* hits) {
+  int begin = 0;
+  int end = 0;
+  while (queue->Next(home, &begin, &end)) {
+    for (int i = begin; i < end; ++i) {
+      (*hits)[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+TEST(StealQueueTest, SingleShardCoversEveryIndexExactlyOnce) {
+  StealQueue queue(100, /*shards=*/1, /*grain=*/7);
+  std::vector<std::atomic<int>> hits(100);
+  Drain(&queue, 0, &hits);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(StealQueueTest, MultiShardSingleThreadCoversEveryIndexExactlyOnce) {
+  // A single consumer draining its home shard then stealing the rest must
+  // still see every index exactly once, whatever the shard/grain split.
+  for (int count : {1, 2, 7, 64, 1000}) {
+    for (int shards : {1, 2, 3, 8}) {
+      for (int grain : {1, 3, 16}) {
+        StealQueue queue(count, shards, grain);
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+        Drain(&queue, 0, &hits);
+        for (int i = 0; i < count; ++i) {
+          EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "count=" << count << " shards=" << shards
+              << " grain=" << grain << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StealQueueTest, ConcurrentConsumersCoverEveryIndexExactlyOnce) {
+  constexpr int kCount = 20000;
+  constexpr int kThreads = 8;
+  StealQueue queue(kCount, kThreads, /*grain=*/5);
+  std::vector<std::atomic<int>> hits(kCount);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&queue, &hits, t] { Drain(&queue, t, &hits); });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(StealQueueTest, EmptyQueueYieldsNothing) {
+  StealQueue queue(0, /*shards=*/4, /*grain=*/1);
+  int begin = -1;
+  int end = -1;
+  EXPECT_FALSE(queue.Next(0, &begin, &end));
+  EXPECT_FALSE(queue.Next(3, &begin, &end));
+}
+
+TEST(StealQueueTest, ChunkBoundsStayInsideRange) {
+  // Chunks never cross a shard's slice end and never exceed the grain.
+  StealQueue queue(10, /*shards=*/3, /*grain=*/4);
+  int begin = 0;
+  int end = 0;
+  while (queue.Next(1, &begin, &end)) {
+    EXPECT_LT(begin, end);
+    EXPECT_GE(begin, 0);
+    EXPECT_LE(end, 10);
+    EXPECT_LE(end - begin, 4);
+  }
+}
+
+TEST(StealQueueTest, DefaultGrainIsPositiveAndScales) {
+  EXPECT_EQ(StealQueue::DefaultGrain(0, 8), 1);
+  EXPECT_EQ(StealQueue::DefaultGrain(1, 8), 1);
+  EXPECT_GE(StealQueue::DefaultGrain(100000, 8), 1);
+  // More items per shard -> bigger chunks (fewer atomic claims).
+  EXPECT_GT(StealQueue::DefaultGrain(100000, 2),
+            StealQueue::DefaultGrain(1000, 2));
+}
+
+}  // namespace
+}  // namespace pasjoin::exec

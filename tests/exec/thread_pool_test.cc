@@ -136,9 +136,10 @@ TEST(ThreadPoolCancelTest, CancelDropsQueuedTasks) {
   std::thread controller([&] {
     wait_source.token().WaitForCancellation(0.05);
     wait_source.Cancel(StatusCode::kCancelled, "drop the queue");
-    // Give the cancelled Wait ample time to clear the queue (its poll
-    // cadence is 5 ms) before the parked task — and with it the worker —
-    // is released.
+    // Give the cancelled Wait ample time to clear the queue (the cancel
+    // callback wakes it nearly instantly; the margin only covers scheduler
+    // noise) before the parked task — and with it the worker — is
+    // released.
     park_source.token().WaitForCancellation(0.5);
     park_source.Cancel(StatusCode::kCancelled, "release the worker");
   });
@@ -149,6 +150,43 @@ TEST(ThreadPoolCancelTest, CancelDropsQueuedTasks) {
   // Only the already-running task completed; the 25 queued ones were
   // dropped and must not run later either (destructor drains nothing).
   EXPECT_EQ(ran.load(), 1);
+}
+
+// Regression for the 5 ms cancellation-poll latency: Wait(token) used to
+// rediscover a cancel only at its next poll tick, so a cancel fired at t
+// dropped the queue no earlier than t+5ms on average. The callback-based
+// wake reacts at signal-delivery speed. The probe: the worker is parked in
+// a gate task, a follow-up is queued behind it, and the gate opens ~2 ms
+// AFTER the cancel — far inside the old poll window. The new Wait has
+// dropped the queue before the gate opens in essentially every trial; the
+// old 5 ms poll would still be asleep and let the follow-up run once the
+// gate task finished (chance of polling inside a given 2 ms window < 0.4,
+// so >= 9 drops in 10 trials has probability < 2e-3 under the old code).
+TEST(ThreadPoolCancelTest, CancelWakesWaitBeforeTheOldPollTick) {
+  constexpr int kTrials = 10;
+  int drops = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ThreadPool pool(1);
+    CancellationSource wait_source;
+    CancellationSource gate;
+    std::atomic<bool> follow_up_ran{false};
+    pool.Submit([&gate] { gate.token().WaitForCancellation(30.0); });
+    pool.Submit([&follow_up_ran] { follow_up_ran = true; });
+    std::thread controller([&] {
+      // Let Wait(token) park first, then cancel, then open the gate 2 ms
+      // later: the drop must already have happened by then.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      wait_source.Cancel(StatusCode::kCancelled, "cancel now");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      gate.Cancel(StatusCode::kCancelled, "open the gate");
+    });
+    const Status st = pool.Wait(wait_source.token());
+    controller.join();
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+    if (!follow_up_ran.load()) ++drops;
+  }
+  // Allow one slow-scheduler fluke; the old polling Wait cannot reach 9.
+  EXPECT_GE(drops, 9);
 }
 
 TEST(ThreadPoolCancelTest, CancelledWaitReturnsDeadlineCode) {

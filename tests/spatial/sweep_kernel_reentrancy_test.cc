@@ -1,0 +1,77 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// Regression for the sweep-kernel scratch-aliasing bug: SoaPartition's
+// LoadSorted reuses member scratch buffers (sort keys, radix histogram,
+// pre-gather columns), so two threads loading the SAME instance corrupt
+// each other's sort state and emit wrong join results — silently. The
+// contract is one kernel instance per thread (sweep_kernel.h); sharing is
+// now caught by a reentrancy guard that aborts the process. This death
+// test drives two threads into concurrent LoadSorted calls on one shared
+// instance and expects the abort; on pre-guard code it would exit cleanly
+// (with silently corrupt output), failing the EXPECT_DEATH.
+#include "spatial/sweep_kernel.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/tuple.h"
+
+namespace pasjoin::spatial {
+namespace {
+
+std::vector<Tuple> MakeTuples(size_t n, uint64_t seed) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  uint64_t state = seed;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    Tuple t;
+    t.id = static_cast<int64_t>(i);
+    t.pt.x = static_cast<double>(state >> 40) / 1e4;
+    t.pt.y = static_cast<double>((state >> 16) & 0xffffff) / 1e4;
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+// Two threads hammering LoadSorted on one shared instance. The guard flags
+// the overlap as soon as the loads interleave; the partition is big enough
+// that one LoadSorted call (~tens of ms) outlasts a scheduler slice, so
+// the loads overlap reliably even on a single core, and the iteration
+// count bounds the runtime if the guard were ever broken.
+void HammerSharedInstance() {
+  const std::vector<Tuple> tuples = MakeTuples(500000, 0x9e3779b9u);
+  SoaPartition shared;
+  std::thread other([&shared, &tuples] {
+    for (int i = 0; i < 50; ++i) shared.LoadSorted(tuples);
+  });
+  for (int i = 0; i < 50; ++i) shared.LoadSorted(tuples);
+  other.join();
+}
+
+TEST(SweepKernelReentrancyDeathTest, ConcurrentLoadSortedAborts) {
+  // The child re-execs in threadsafe style, so the hammer's own threads
+  // don't race the fork.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HammerSharedInstance(), "PASJOIN_CHECK failed");
+}
+
+TEST(SweepKernelReentrancyTest, SequentialReuseIsFine) {
+  // The guard must not fire on the sanctioned pattern: one thread reloading
+  // the same instance across partitions.
+  const std::vector<Tuple> a = MakeTuples(1000, 1);
+  const std::vector<Tuple> b = MakeTuples(2000, 2);
+  SoaPartition part;
+  part.LoadSorted(a);
+  EXPECT_EQ(part.size(), a.size());
+  part.LoadSorted(b);
+  EXPECT_EQ(part.size(), b.size());
+  part.LoadSorted(a);
+  EXPECT_EQ(part.size(), a.size());
+}
+
+}  // namespace
+}  // namespace pasjoin::spatial

@@ -27,6 +27,11 @@ reported (exit 1 on violation):
     makespan, join_seconds ~= join makespan, dedup_seconds ~= scatter
     makespan + merge makespan — each within --tolerance (default 5%,
     plus a small absolute slack for sub-millisecond phases);
+  * the measured_* gauges (real wall time of each phase group under the
+    work-stealing execution, docs/PARALLELISM.md) vs the driver-track
+    phase spans: measured_construction_seconds ~= driver_seconds +
+    phase-map + phase-regroup, measured_join_seconds ~= phase-join,
+    measured_dedup_seconds ~= phase-dedup-scatter + phase-dedup-merge;
   * kernel gauge sums (sort/sweep/emit) vs the kernel span sums, when the
     run reported a kernel breakdown;
   * the candidates counter vs the sum of join-partition span args (exact;
@@ -231,6 +236,37 @@ def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
             "dedup-merge-task"
         )
         check("dedup_seconds", gauges["dedup_seconds"], derived)
+
+    # Measured (physical) phase times: each phase's wall time is the single
+    # driver-track "phase-*" span enclosing it, so the gauge must match the
+    # span total. Construction additionally includes the sequential driver
+    # time, exactly like the simulated construction gauge.
+    if "measured_construction_seconds" in gauges:
+        derived = (
+            gauges.get("driver_seconds", 0.0)
+            + rollup.total("phase-map")
+            + rollup.total("phase-regroup")
+        )
+        check(
+            "measured_construction_seconds",
+            gauges["measured_construction_seconds"],
+            derived,
+        )
+    if "measured_join_seconds" in gauges:
+        check(
+            "measured_join_seconds",
+            gauges["measured_join_seconds"],
+            rollup.total("phase-join"),
+        )
+    if "measured_dedup_seconds" in gauges:
+        derived = rollup.total("phase-dedup-scatter") + rollup.total(
+            "phase-dedup-merge"
+        )
+        check(
+            "measured_dedup_seconds",
+            gauges["measured_dedup_seconds"],
+            derived,
+        )
 
     # Kernel phase attribution: span sums vs the job's kernel gauges. The
     # engine folds caller-side batch post-processing (the self-join filter)

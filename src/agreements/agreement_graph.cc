@@ -56,8 +56,11 @@ AgreementType AgreementGraph::DecideByDiff(const GridStats& stats, CellId a,
   const int64_t sb = stats.CellCount(Side::kS, b);
   const int64_t diff_a = std::llabs(ra - sa);
   const int64_t diff_b = std::llabs(rb - sb);
-  const int64_t decider_r = diff_a >= diff_b ? ra : rb;
-  const int64_t decider_s = diff_a >= diff_b ? sa : sb;
+  // An exact diff tie is resolved by the smaller CellId, not by argument
+  // order, so that DecideByDiff(a, b) == DecideByDiff(b, a).
+  const bool a_decides = diff_a != diff_b ? diff_a > diff_b : a < b;
+  const int64_t decider_r = a_decides ? ra : rb;
+  const int64_t decider_s = a_decides ? sa : sb;
   if (decider_r < decider_s) return AgreementType::kReplicateR;
   if (decider_s < decider_r) return AgreementType::kReplicateS;
   return tie_break_;
@@ -91,37 +94,57 @@ AgreementType AgreementGraph::DecidePairType(const GridStats& stats, CellId a,
   return tie_break_;
 }
 
-AgreementGraph AgreementGraph::Build(const Grid& grid, const GridStats& stats,
-                                     Policy policy, AgreementType tie_break) {
+AgreementGraph AgreementGraph::PrepareBuild(const Grid& grid, Policy policy,
+                                            AgreementType tie_break) {
   AgreementGraph g(&grid, policy, tie_break);
   const int nx = grid.nx();
   const int ny = grid.ny();
-
-  // 1) Decide the agreement type of every side-adjacent pair, once.
   g.htype_.resize(static_cast<size_t>(std::max(0, nx - 1)) * ny);
   g.vtype_.resize(static_cast<size_t>(nx) * std::max(0, ny - 1));
-  for (int cy = 0; cy < ny; ++cy) {
-    for (int cx = 0; cx + 1 < nx; ++cx) {
+  g.subgraphs_.resize(static_cast<size_t>(grid.num_quartets()));
+  return g;
+}
+
+void AgreementGraph::DecidePairRange(const GridStats& stats, int begin,
+                                     int end) {
+  // Slot layout: horizontal pairs [0, H), then vertical pairs [H, H + V).
+  // Horizontal slot cx + cy * (nx - 1) covers (cx, cy)-(cx+1, cy); vertical
+  // slot cx + cy * nx covers (cx, cy)-(cx, cy+1). Build step 1.
+  const Grid& grid = *grid_;
+  const int nx = grid.nx();
+  const int h = static_cast<int>(htype_.size());
+  PASJOIN_DCHECK(begin >= 0 && begin <= end && end <= NumPairSlots());
+  for (int idx = begin; idx < end; ++idx) {
+    if (idx < h) {
+      const int cx = idx % (nx - 1);
+      const int cy = idx / (nx - 1);
       const CellId a = grid.CellIdOf(cx, cy);
       const CellId b = grid.CellIdOf(cx + 1, cy);
-      g.htype_[cx + static_cast<size_t>(cy) * (nx - 1)] =
-          g.DecidePairType(stats, a, b, DirIndex(1, 0));
-    }
-  }
-  for (int cy = 0; cy + 1 < ny; ++cy) {
-    for (int cx = 0; cx < nx; ++cx) {
+      htype_[static_cast<size_t>(idx)] =
+          DecidePairType(stats, a, b, DirIndex(1, 0));
+    } else {
+      const int v = idx - h;
+      const int cx = v % nx;
+      const int cy = v / nx;
       const CellId a = grid.CellIdOf(cx, cy);
       const CellId b = grid.CellIdOf(cx, cy + 1);
-      g.vtype_[cx + static_cast<size_t>(cy) * nx] =
-          g.DecidePairType(stats, a, b, DirIndex(0, 1));
+      vtype_[static_cast<size_t>(v)] =
+          DecidePairType(stats, a, b, DirIndex(0, 1));
     }
   }
+}
 
-  // 2) Materialize one subgraph per quartet: copy the pair types of its four
-  //    side pairs, decide its two diagonal pairs, and compute edge weights.
-  g.subgraphs_.resize(static_cast<size_t>(grid.num_quartets()));
-  for (QuartetId q = 0; q < grid.num_quartets(); ++q) {
-    QuartetSubgraph& sub = g.subgraphs_[q];
+void AgreementGraph::MaterializeSubgraphRange(const GridStats& stats,
+                                              QuartetId begin, QuartetId end) {
+  // Build step 2: copy the pair types of the quartet's four side pairs,
+  // decide its two diagonal pairs, and compute edge weights.
+  const Grid& grid = *grid_;
+  const AgreementGraph& g = *this;
+  const int nx = grid.nx();
+  PASJOIN_DCHECK(begin >= 0 && begin <= end &&
+                 end <= static_cast<QuartetId>(subgraphs_.size()));
+  for (QuartetId q = begin; q < end; ++q) {
+    QuartetSubgraph& sub = subgraphs_[q];
     sub.id = q;
     sub.ref = grid.QuartetRefPoint(q);
     for (int which = 0; which < 4; ++which) {
@@ -177,6 +200,13 @@ AgreementGraph AgreementGraph::Build(const Grid& grid, const GridStats& stats,
       }
     }
   }
+}
+
+AgreementGraph AgreementGraph::Build(const Grid& grid, const GridStats& stats,
+                                     Policy policy, AgreementType tie_break) {
+  AgreementGraph g = PrepareBuild(grid, policy, tie_break);
+  g.DecidePairRange(stats, 0, g.NumPairSlots());
+  g.MaterializeSubgraphRange(stats, 0, grid.num_quartets());
   return g;
 }
 
@@ -286,6 +316,15 @@ void AgreementGraph::MarkSubgraph(QuartetSubgraph* sub, MarkingOrder order) {
     eij.marked = true;
     sub->edge[e.j][k].locked = true;
     sub->edge[e.i][k].locked = true;
+  }
+}
+
+void AgreementGraph::MarkQuartets(const QuartetId* ids, size_t n,
+                                  MarkingOrder order) {
+  for (size_t i = 0; i < n; ++i) {
+    PASJOIN_DCHECK(ids[i] >= 0 &&
+                   ids[i] < static_cast<QuartetId>(subgraphs_.size()));
+    MarkSubgraph(&subgraphs_[static_cast<size_t>(ids[i])], order);
   }
 }
 

@@ -121,6 +121,48 @@ class AgreementGraph {
       const grid::Grid& grid, const grid::GridStats& stats, Policy policy,
       AgreementType tie_break = AgreementType::kReplicateR);
 
+  // --- Chunked build steps -------------------------------------------------
+  //
+  // Build() and RunDuplicateFreeMarking() are thin sequential drivers over
+  // the range primitives below; core::PlanAgreementGraph drives the same
+  // primitives from a thread pool under a conflict-free quartet coloring
+  // (agreements/coloring.h), which makes parallel planning byte-identical to
+  // sequential planning by construction. Each range call touches only its
+  // own slots/subgraphs, so disjoint ranges may run concurrently; marking
+  // additionally requires that concurrently marked quartets never share a
+  // pair edge (guaranteed by the coloring).
+
+  /// Allocates an empty graph (pair slots and subgraphs default-initialized)
+  /// ready for DecidePairRange / MaterializeSubgraphRange.
+  static AgreementGraph PrepareBuild(
+      const grid::Grid& grid, Policy policy,
+      AgreementType tie_break = AgreementType::kReplicateR);
+
+  /// Number of side-pair slots: horizontal pairs first ((nx-1) * ny), then
+  /// vertical pairs (nx * (ny-1)).
+  int NumPairSlots() const {
+    return static_cast<int>(htype_.size() + vtype_.size());
+  }
+
+  /// Decides the agreement type of pair slots [begin, end) - Build step 1.
+  /// Writes only those slots; disjoint ranges are safe to run concurrently.
+  void DecidePairRange(const grid::GridStats& stats, int begin, int end);
+
+  /// Materializes subgraphs [begin, end) - Build step 2 (copies side-pair
+  /// types, decides diagonals, computes edge weights). Requires all pair
+  /// slots decided. Writes only those subgraphs.
+  void MaterializeSubgraphRange(const grid::GridStats& stats,
+                                grid::QuartetId begin, grid::QuartetId end);
+
+  /// Runs Algorithm 1 on the listed quartets. Mutates only their subgraph
+  /// copies; concurrent calls are safe when no two quartets in flight share
+  /// a side-pair edge (use QuartetColoring color classes).
+  void MarkQuartets(const grid::QuartetId* ids, size_t n, MarkingOrder order);
+
+  /// Declares marking complete (freezes Set*PairType overrides). The
+  /// sequential RunDuplicateFreeMarking does this implicitly.
+  void FinishMarking() { marking_done_ = true; }
+
   /// Runs Algorithm 1 on every subgraph, producing a duplicate-free
   /// assignment. Idempotent.
   void RunDuplicateFreeMarking(MarkingOrder order = MarkingOrder::kPaper);
@@ -165,13 +207,21 @@ class AgreementGraph {
   /// given seed. Must be called before RunDuplicateFreeMarking.
   void RandomizeForTesting(uint64_t seed);
 
- private:
-  AgreementGraph(const grid::Grid* grid, Policy policy, AgreementType tie_break);
-
+  /// The policy decision for the pair (a, b) where b is a's neighbor in
+  /// direction `dir_ab` (a grid::DirIndex). Orientation-symmetric:
+  /// DecidePairType(a, b, dir) == DecidePairType(b, a, -dir) - pinned by a
+  /// property test, since a parallel evaluation order must not flip pairs.
   AgreementType DecidePairType(const grid::GridStats& stats, grid::CellId a,
                                grid::CellId b, int dir_ab) const;
+
+  /// The DIFF criterion (Section 4.3); also the LPiB tie fallback. The cell
+  /// with the greater |#R - #S| decides; an exact tie is resolved by the
+  /// smaller CellId so the result is independent of argument order.
   AgreementType DecideByDiff(const grid::GridStats& stats, grid::CellId a,
                              grid::CellId b) const;
+
+ private:
+  AgreementGraph(const grid::Grid* grid, Policy policy, AgreementType tie_break);
 
   const grid::Grid* grid_;
   Policy policy_;

@@ -1,0 +1,46 @@
+// Copyright 2026 The pasjoin Authors.
+//
+// printf-style append onto a std::string that can never truncate: formats
+// into a stack buffer and falls back to an exactly-sized heap buffer when a
+// field overflows it. Shared by every ToString in the tree (JobMetrics,
+// CostPrediction, ...) so none of them can regress to a fixed-size snprintf.
+#ifndef PASJOIN_COMMON_STR_APPEND_H_
+#define PASJOIN_COMMON_STR_APPEND_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pasjoin {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+inline void AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char stack_buf[256];
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<size_t>(needed));
+  } else {
+    // Rare: one field longer than the stack buffer. Grow exactly; nothing
+    // is ever silently truncated.
+    std::vector<char> heap_buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+    out->append(heap_buf.data(), static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+}
+
+}  // namespace pasjoin
+
+#endif  // PASJOIN_COMMON_STR_APPEND_H_

@@ -21,6 +21,7 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "common/tuple.h"
+#include "core/planning.h"
 #include "exec/engine.h"
 #include "exec/watchdog.h"
 
@@ -48,6 +49,13 @@ struct AdaptiveJoinOptions {
   /// When false, skips Algorithm 1 (marking) and instead removes duplicate
   /// results with a parallel distinct step - the costly variant of Table 6.
   bool duplicate_free = true;
+  /// Edge-examination order of Algorithm 1 (kPaper is the paper's order;
+  /// the alternatives exist for ablations).
+  agreements::MarkingOrder marking_order = agreements::MarkingOrder::kPaper;
+  /// Parallel-planning configuration (core/planning.h): how many threads
+  /// run the driver-side pipeline (agreement graph, marking, costs). The
+  /// results are byte-identical for every thread count.
+  PlanningOptions planning;
   /// Materialize result pairs.
   bool collect_results = false;
   /// Carry tuple payloads through the shuffle (Table 5 / Figures 16-18).
@@ -89,10 +97,13 @@ struct AdaptiveJoinArtifacts {
   uint64_t sampled_s = 0;
   size_t marked_edges = 0;
   size_t locked_edges = 0;
-  /// Sequential driver time: sampling + statistics + graph instantiation +
-  /// Algorithm 1 + scheduler (already included in the metrics' construction
-  /// time).
+  /// Driver time: sampling + statistics + graph instantiation + Algorithm 1
+  /// + scheduler (already included in the metrics' construction time).
   double driver_seconds = 0.0;
+  /// The planning portion of driver_seconds: agreement graph + marking +
+  /// per-cell costs + LPT, as run by the (possibly parallel) planner. Also
+  /// reported as JobMetrics::measured_planning_seconds.
+  double planning_seconds = 0.0;
 };
 
 /// Runs the adaptive-replication eps-distance join R join_eps S.

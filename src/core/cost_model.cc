@@ -2,9 +2,9 @@
 #include "core/cost_model.h"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/macros.h"
+#include "common/str_append.h"
 
 namespace pasjoin::core {
 
@@ -16,13 +16,15 @@ using grid::CellId;
 using grid::DirIndex;
 
 std::string CostPrediction::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "repl=%.0f (R %.0f / S %.0f) shuffled=%.0f candidates=%.3e "
-                "max-cell=%.3e",
-                ReplicatedTotal(), replicated_r, replicated_s, shuffled_tuples,
-                total_candidates, max_cell_candidates);
-  return std::string(buf);
+  // Built on string appends: %.0f of a large replica estimate expands to
+  // hundreds of digits, which a fixed 256-byte snprintf buffer silently
+  // truncated (the same bug class JobMetrics::ToString had before PR 5).
+  std::string out;
+  AppendF(&out, "repl=%.0f (R %.0f / S %.0f) shuffled=%.0f ", ReplicatedTotal(),
+          replicated_r, replicated_s, shuffled_tuples);
+  AppendF(&out, "candidates=%.3e max-cell=%.3e", total_candidates,
+          max_cell_candidates);
+  return out;
 }
 
 namespace {
@@ -71,24 +73,33 @@ double EstimatedSideInCell(const grid::Grid& grid, const grid::GridStats& stats,
 
 }  // namespace
 
-std::vector<double> CostModel::PerCellCandidates(
-    const AgreementGraph& graph) const {
-  const int cells = grid_->num_cells();
-  std::vector<double> out(static_cast<size_t>(cells), 0.0);
-  for (CellId c = 0; c < cells; ++c) {
+void CostModel::PerCellCandidatesRange(const AgreementGraph& graph,
+                                       CellId begin, CellId end,
+                                       double* out) const {
+  PASJOIN_DCHECK(begin >= 0 && begin <= end && end <= grid_->num_cells());
+  for (CellId c = begin; c < end; ++c) {
     const double est_r =
         EstimatedSideInCell(*grid_, *stats_, graph, Side::kR, c);
     const double est_s =
         EstimatedSideInCell(*grid_, *stats_, graph, Side::kS, c);
     out[static_cast<size_t>(c)] = est_r * est_s;
   }
+}
+
+std::vector<double> CostModel::PerCellCandidates(
+    const AgreementGraph& graph) const {
+  const int cells = grid_->num_cells();
+  std::vector<double> out(static_cast<size_t>(cells), 0.0);
+  PerCellCandidatesRange(graph, 0, cells, out.data());
   return out;
 }
 
-CostPrediction CostModel::Predict(const AgreementGraph& graph) const {
-  CostPrediction pred;
-  const int cells = grid_->num_cells();
-  for (CellId c = 0; c < cells; ++c) {
+CostModel::PredictPartial CostModel::PredictRange(const AgreementGraph& graph,
+                                                  CellId begin,
+                                                  CellId end) const {
+  PASJOIN_DCHECK(begin >= 0 && begin <= end && end <= grid_->num_cells());
+  PredictPartial part;
+  for (CellId c = begin; c < end; ++c) {
     const double est_r =
         EstimatedSideInCell(*grid_, *stats_, graph, Side::kR, c);
     const double est_s =
@@ -97,11 +108,24 @@ CostPrediction CostModel::Predict(const AgreementGraph& graph) const {
         est_r - stats_->CellCount(Side::kR, c) * stats_->Scale(Side::kR);
     const double inbound_s =
         est_s - stats_->CellCount(Side::kS, c) * stats_->Scale(Side::kS);
-    pred.replicated_r += inbound_r;
-    pred.replicated_s += inbound_s;
+    part.replicated_r += inbound_r;
+    part.replicated_s += inbound_s;
     const double candidates = est_r * est_s;
-    pred.total_candidates += candidates;
-    pred.max_cell_candidates = std::max(pred.max_cell_candidates, candidates);
+    part.total_candidates += candidates;
+    part.max_cell_candidates = std::max(part.max_cell_candidates, candidates);
+  }
+  return part;
+}
+
+CostPrediction CostModel::FoldPredict(const PredictPartial* partials,
+                                      size_t n) const {
+  CostPrediction pred;
+  for (size_t i = 0; i < n; ++i) {
+    pred.replicated_r += partials[i].replicated_r;
+    pred.replicated_s += partials[i].replicated_s;
+    pred.total_candidates += partials[i].total_candidates;
+    pred.max_cell_candidates =
+        std::max(pred.max_cell_candidates, partials[i].max_cell_candidates);
   }
   pred.shuffled_tuples =
       pred.ReplicatedTotal() +
@@ -110,6 +134,22 @@ CostPrediction CostModel::Predict(const AgreementGraph& graph) const {
       static_cast<double>(stats_->SampleSize(Side::kS)) *
           stats_->Scale(Side::kS);
   return pred;
+}
+
+CostPrediction CostModel::Predict(const AgreementGraph& graph) const {
+  // Fixed-block accumulation: per-block partials folded in ascending block
+  // order. The parallel planner computes the same blocks on worker threads
+  // and folds them in the same order, so both paths agree bit-for-bit.
+  const int cells = grid_->num_cells();
+  const int blocks = cells == 0 ? 0 : (cells + kPredictBlockCells - 1) /
+                                          kPredictBlockCells;
+  std::vector<PredictPartial> partials(static_cast<size_t>(blocks));
+  for (int b = 0; b < blocks; ++b) {
+    const CellId begin = b * kPredictBlockCells;
+    const CellId end = std::min(cells, begin + kPredictBlockCells);
+    partials[static_cast<size_t>(b)] = PredictRange(graph, begin, end);
+  }
+  return FoldPredict(partials.data(), partials.size());
 }
 
 double CostModel::PredictMakespan(const AgreementGraph& graph,

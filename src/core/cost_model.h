@@ -63,6 +63,39 @@ class CostModel {
   std::vector<double> PerCellCandidates(
       const agreements::AgreementGraph& graph) const;
 
+  // --- Chunked counterparts (parallel planning, core/planning.h) -----------
+
+  /// Cells folded into one Predict accumulator block. Both the sequential
+  /// Predict and the parallel planner accumulate per-block partials and fold
+  /// them in ascending block order, so their floating-point results are
+  /// bit-identical regardless of thread count.
+  static constexpr int kPredictBlockCells = 4096;
+
+  /// Fills out[c] for cells [begin, end) - the chunkable core of
+  /// PerCellCandidates. `out` must point at a buffer of num_cells doubles;
+  /// only the [begin, end) slots are written.
+  void PerCellCandidatesRange(const agreements::AgreementGraph& graph,
+                              grid::CellId begin, grid::CellId end,
+                              double* out) const;
+
+  /// The Predict accumulators of one block of cells.
+  struct PredictPartial {
+    double replicated_r = 0.0;
+    double replicated_s = 0.0;
+    double total_candidates = 0.0;
+    double max_cell_candidates = 0.0;
+  };
+
+  /// Accumulates cells [begin, end) into a fresh partial. Call per block of
+  /// kPredictBlockCells cells (the last block may be short).
+  PredictPartial PredictRange(const agreements::AgreementGraph& graph,
+                              grid::CellId begin, grid::CellId end) const;
+
+  /// Folds block partials (ascending block order) into the final prediction,
+  /// adding the shuffled-tuple term. Predict == FoldPredict over the blocks
+  /// of PredictRange, by construction.
+  CostPrediction FoldPredict(const PredictPartial* partials, size_t n) const;
+
   /// Predicted makespan (max per-worker candidate count) when cell c is
   /// placed on worker owner(c).
   double PredictMakespan(const agreements::AgreementGraph& graph,

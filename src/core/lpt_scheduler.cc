@@ -2,6 +2,7 @@
 #include "core/lpt_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <queue>
 
@@ -17,6 +18,13 @@ CellAssignment CellAssignment::Hash(int workers) {
 CellAssignment CellAssignment::Lpt(const std::vector<double>& cell_costs,
                                    int workers) {
   PASJOIN_CHECK(workers >= 1);
+  // A NaN cost would break the sort's strict weak ordering (undefined
+  // behavior) and a negative cost would corrupt the min-heap loads, so both
+  // are rejected up front. Costs reach this point from the analytical model
+  // today but may come from measured telemetry later.
+  for (const double cost : cell_costs) {
+    PASJOIN_CHECK(!std::isnan(cost) && cost >= 0.0);
+  }
   CellAssignment out(workers);
 
   std::vector<int32_t> order;

@@ -25,6 +25,9 @@ class CellAssignment {
   /// LPT assignment for `cell_costs[cell]` estimated costs: cells sorted by
   /// descending cost, each placed on the currently least-loaded worker.
   /// Zero-cost cells fall back to hash placement (they carry no join work).
+  /// Costs must be finite-or-infinite non-negative numbers; a NaN or
+  /// negative cost aborts via PASJOIN_CHECK (NaN breaks the sort's strict
+  /// weak ordering, negatives corrupt the load heap).
   static CellAssignment Lpt(const std::vector<double>& cell_costs, int workers);
 
   /// The owning worker of `cell` in [0, workers).

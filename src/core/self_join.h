@@ -10,9 +10,12 @@
 #ifndef PASJOIN_CORE_SELF_JOIN_H_
 #define PASJOIN_CORE_SELF_JOIN_H_
 
+#include <cstdint>
+
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "common/tuple.h"
+#include "core/planning.h"
 #include "exec/engine.h"
 #include "exec/watchdog.h"
 
@@ -26,6 +29,17 @@ struct SelfJoinOptions {
   double resolution_factor = 2.0;
   int workers = 8;
   int num_splits = 0;
+  /// Place cells on workers with LPT over sampled per-cell costs instead of
+  /// the default hash placement. Off by default (hash preserves the
+  /// historical behavior); results are identical either way — only the
+  /// cell-to-worker mapping moves.
+  bool use_lpt = false;
+  /// Sampling rate/seed for the LPT cost estimate (only read when use_lpt).
+  double lpt_sample_rate = 0.03;
+  uint64_t lpt_sample_seed = 0x5a5a5a5a;
+  /// Parallel-planning configuration (core/planning.h), used by the LPT
+  /// cost pass.
+  PlanningOptions planning;
   bool collect_results = false;
   bool carry_payloads = true;
   int physical_threads = 0;

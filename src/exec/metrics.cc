@@ -3,44 +3,11 @@
 
 #include <cinttypes>
 #include <cmath>
-#include <cstdarg>
-#include <cstdio>
-#include <vector>
 
+#include "common/str_append.h"
 #include "obs/counters.h"
 
 namespace pasjoin::exec {
-
-namespace {
-
-#if defined(__GNUC__) || defined(__clang__)
-__attribute__((format(printf, 2, 3)))
-#endif
-void AppendF(std::string* out, const char* fmt, ...) {
-  va_list args;
-  va_start(args, fmt);
-  va_list args_copy;
-  va_copy(args_copy, args);
-  char stack_buf[256];
-  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
-  va_end(args);
-  if (needed < 0) {
-    va_end(args_copy);
-    return;
-  }
-  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
-    out->append(stack_buf, static_cast<size_t>(needed));
-  } else {
-    // Rare: one field longer than the stack buffer. Grow exactly; nothing
-    // is ever silently truncated.
-    std::vector<char> heap_buf(static_cast<size_t>(needed) + 1);
-    std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
-    out->append(heap_buf.data(), static_cast<size_t>(needed));
-  }
-  va_end(args_copy);
-}
-
-}  // namespace
 
 std::string JobMetrics::ToString() const {
   // Built on string appends: every populated field always appears in the
@@ -65,6 +32,9 @@ std::string JobMetrics::ToString() const {
             physical_threads, measured_construction_seconds,
             measured_join_seconds, measured_dedup_seconds,
             MeasuredTotalSeconds());
+  }
+  if (measured_planning_seconds > 0.0) {
+    AppendF(&out, " planning=%.3fs", measured_planning_seconds);
   }
   if (!local_kernel.empty()) {
     AppendF(&out, " kernel=%s[sort=%.3fs sweep=%.3fs emit=%.3fs]",
@@ -127,6 +97,8 @@ void PublishMetricGauges(const JobMetrics& metrics,
   registry->SetGauge("measured_dedup_seconds",
                      metrics.measured_dedup_seconds);
   registry->SetGauge("measured_total_seconds", metrics.MeasuredTotalSeconds());
+  registry->SetGauge("measured_planning_seconds",
+                     metrics.measured_planning_seconds);
   registry->Set("workers", static_cast<uint64_t>(
                                metrics.workers > 0 ? metrics.workers : 0));
   registry->Set("physical_threads",

@@ -90,6 +90,14 @@ struct JobMetrics {
            measured_dedup_seconds;
   }
 
+  /// Measured wall-clock seconds of driver-side planning (pair-agreement
+  /// decisions, quartet marking, per-cell cost estimation, LPT) under the
+  /// parallel planner (core/planning.h). A subset of the driver seconds
+  /// already folded into `measured_construction_seconds`, broken out so
+  /// trace validation can reconcile it against the planning-* spans; 0 when
+  /// the job did no planning (baselines, hash placement without costs).
+  double measured_planning_seconds = 0.0;
+
   /// Physical threads the engine's pool executed with (0 when the job never
   /// reached execution). Distinct from `workers`: logical workers are a
   /// placement concept, threads are who actually ran the stolen tasks.

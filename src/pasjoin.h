@@ -27,6 +27,7 @@
 #define PASJOIN_PASJOIN_H_
 
 #include "agreements/agreement_graph.h"   // IWYU pragma: export
+#include "agreements/coloring.h"          // IWYU pragma: export
 #include "agreements/dot_export.h"        // IWYU pragma: export
 #include "baselines/pbsm.h"               // IWYU pragma: export
 #include "baselines/sedona_like.h"        // IWYU pragma: export
@@ -36,12 +37,14 @@
 #include "common/small_vector.h"          // IWYU pragma: export
 #include "common/status.h"                // IWYU pragma: export
 #include "common/stopwatch.h"             // IWYU pragma: export
+#include "common/str_append.h"            // IWYU pragma: export
 #include "common/sync.h"                  // IWYU pragma: export
 #include "common/tuple.h"                 // IWYU pragma: export
 #include "core/adaptive_join.h"           // IWYU pragma: export
 #include "core/cost_model.h"              // IWYU pragma: export
 #include "core/epsilon_advisor.h"         // IWYU pragma: export
 #include "core/lpt_scheduler.h"           // IWYU pragma: export
+#include "core/planning.h"                // IWYU pragma: export
 #include "core/replication.h"             // IWYU pragma: export
 #include "core/self_join.h"               // IWYU pragma: export
 #include "datagen/generators.h"           // IWYU pragma: export

@@ -1,6 +1,9 @@
 // Copyright 2026 The pasjoin Authors.
 #include "agreements/agreement_graph.h"
 
+#include <algorithm>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -215,6 +218,142 @@ TEST(AgreementGraphTest, WeightsFollowExampleFourFour) {
       for (int j = 0; j < 4; ++j) {
         if (i != j) {
           EXPECT_EQ(sub.edge[i][j].weight, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(DecidePairTypeTest, OrientationSymmetryProperty) {
+  // Decide(a, b, dir) must equal Decide(b, a, -dir) for every policy: any
+  // parallel pair-evaluation order must be unable to flip a pair by
+  // visiting it from the other end. Regression for the DecideByDiff tie
+  // path, which used to let the *first argument* decide on diff_a == diff_b.
+  const Grid g = MakeGrid(5, 5);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    GridStats stats(&g);
+    Rng rng(seed);
+    // Sparse counts make exact |#R - #S| ties common.
+    for (int i = 0; i < 120; ++i) {
+      stats.Add(rng.NextBernoulli(0.5) ? Side::kR : Side::kS,
+                Point{rng.NextUniform(0, 10.5), rng.NextUniform(0, 10.5)});
+    }
+    for (const Policy policy : {Policy::kLPiB, Policy::kDiff,
+                                Policy::kUniformR, Policy::kUniformS}) {
+      for (const AgreementType tie_break :
+           {AgreementType::kReplicateR, AgreementType::kReplicateS}) {
+        const AgreementGraph graph =
+            AgreementGraph::PrepareBuild(g, policy, tie_break);
+        for (int cy = 0; cy < g.ny(); ++cy) {
+          for (int cx = 0; cx < g.nx(); ++cx) {
+            const CellId a = g.CellIdOf(cx, cy);
+            // All four neighbor kinds with a positive-x/y component; the
+            // reverse orientation covers the other four.
+            for (const auto& [dx, dy] :
+                 {std::pair{1, 0}, std::pair{0, 1}, std::pair{1, 1},
+                  std::pair{-1, 1}}) {
+              if (!g.HasCell(cx + dx, cy + dy)) continue;
+              const CellId b = g.CellIdOf(cx + dx, cy + dy);
+              EXPECT_EQ(
+                  graph.DecidePairType(stats, a, b, grid::DirIndex(dx, dy)),
+                  graph.DecidePairType(stats, b, a, grid::DirIndex(-dx, -dy)))
+                  << "seed " << seed << " policy " << PolicyName(policy)
+                  << " pair (" << a << "," << b << ") dir (" << dx << ","
+                  << dy << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DecidePairTypeTest, DiffTieIsDecidedByTheSmallerCellId) {
+  // Crafted |#R - #S| tie: cell a has (R=5, S=3), cell b has (R=1, S=3) -
+  // both diffs are 2. The smaller CellId (a) decides: R > S there, so the
+  // agreement replicates S, from both orientations.
+  const Grid g = MakeGrid(4, 4);
+  GridStats stats(&g);
+  const CellId a = g.CellIdOf(0, 0);
+  const CellId b = g.CellIdOf(1, 0);
+  for (int i = 0; i < 5; ++i) stats.Add(Side::kR, Point{0.5, 0.5});
+  for (int i = 0; i < 3; ++i) stats.Add(Side::kS, Point{0.5, 0.5});
+  for (int i = 0; i < 1; ++i) stats.Add(Side::kR, Point{2.6, 0.5});
+  for (int i = 0; i < 3; ++i) stats.Add(Side::kS, Point{2.6, 0.5});
+  ASSERT_EQ(stats.CellCount(Side::kR, a), 5u);
+  ASSERT_EQ(stats.CellCount(Side::kS, b), 3u);
+  const AgreementGraph graph =
+      AgreementGraph::PrepareBuild(g, Policy::kDiff,
+                                   AgreementType::kReplicateR);
+  EXPECT_EQ(graph.DecidePairType(stats, a, b, grid::DirIndex(1, 0)),
+            AgreementType::kReplicateS);
+  EXPECT_EQ(graph.DecidePairType(stats, b, a, grid::DirIndex(-1, 0)),
+            AgreementType::kReplicateS);
+}
+
+TEST(AgreementGraphTest, ChunkedBuildMatchesSequentialBuild) {
+  // PrepareBuild + DecidePairRange + MaterializeSubgraphRange over
+  // arbitrary chunk boundaries is the same computation Build runs.
+  const Grid g = MakeGrid(5, 4);
+  GridStats stats(&g);
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    stats.Add(rng.NextBernoulli(0.4) ? Side::kR : Side::kS,
+              Point{rng.NextUniform(0, 10.5), rng.NextUniform(0, 8.4)});
+  }
+  for (const Policy policy : {Policy::kLPiB, Policy::kDiff}) {
+    const AgreementGraph whole = AgreementGraph::Build(g, stats, policy);
+    AgreementGraph chunked = AgreementGraph::PrepareBuild(g, policy);
+    for (int begin = 0; begin < chunked.NumPairSlots(); begin += 7) {
+      chunked.DecidePairRange(stats, begin,
+                              std::min(chunked.NumPairSlots(), begin + 7));
+    }
+    for (QuartetId begin = 0; begin < g.num_quartets(); begin += 3) {
+      chunked.MaterializeSubgraphRange(
+          stats, begin, std::min(g.num_quartets(), begin + 3));
+    }
+    for (QuartetId q = 0; q < g.num_quartets(); ++q) {
+      const QuartetSubgraph& sw = whole.Subgraph(q);
+      const QuartetSubgraph& sc = chunked.Subgraph(q);
+      EXPECT_EQ(sw.id, sc.id);
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(sw.cells[i], sc.cells[i]);
+        for (int j = 0; j < 4; ++j) {
+          if (i == j) continue;
+          EXPECT_EQ(sw.type[i][j], sc.type[i][j]);
+          EXPECT_EQ(sw.edge[i][j].weight, sc.edge[i][j].weight);
+        }
+      }
+    }
+  }
+}
+
+TEST(AgreementGraphTest, MarkQuartetsInAnyOrderMatchesSequentialMarking) {
+  // Algorithm 1 mutates only the quartet's own subgraph copy, so marking
+  // the quartets in any order - here reversed - produces identical bytes.
+  const Grid g = MakeGrid(5, 5);
+  GridStats stats(&g);
+  for (const MarkingOrder order :
+       {MarkingOrder::kPaper, MarkingOrder::kIndexOrder}) {
+    AgreementGraph seq = AgreementGraph::Build(g, stats, Policy::kLPiB);
+    seq.RandomizeForTesting(23);
+    seq.RunDuplicateFreeMarking(order);
+    AgreementGraph rev = AgreementGraph::Build(g, stats, Policy::kLPiB);
+    rev.RandomizeForTesting(23);
+    for (QuartetId q = g.num_quartets() - 1; q >= 0; --q) {
+      rev.MarkQuartets(&q, 1, order);
+    }
+    rev.FinishMarking();
+    for (QuartetId q = 0; q < g.num_quartets(); ++q) {
+      const QuartetSubgraph& a = seq.Subgraph(q);
+      const QuartetSubgraph& b = rev.Subgraph(q);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          if (i == j) continue;
+          EXPECT_EQ(a.edge[i][j].marked, b.edge[i][j].marked)
+              << "quartet " << q;
+          EXPECT_EQ(a.edge[i][j].locked, b.edge[i][j].locked)
+              << "quartet " << q;
         }
       }
     }

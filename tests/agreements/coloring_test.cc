@@ -1,0 +1,100 @@
+// Copyright 2026 The pasjoin Authors.
+#include "agreements/coloring.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.h"
+#include "grid/grid.h"
+
+namespace pasjoin::agreements {
+namespace {
+
+grid::Grid MakeGrid(int nx, int ny) {
+  // eps 0.5 with resolution factor 2 targets unit cells; the extra 0.5
+  // keeps every cell side strictly above 2*eps, so the count is exactly
+  // nx x ny (an exact division would shrink the grid by one).
+  Rect mbr{0.0, 0.0, nx + 0.5, ny + 0.5};
+  Result<grid::Grid> grid = grid::Grid::Make(mbr, 0.5, 2.0);
+  EXPECT_TRUE(grid.ok());
+  EXPECT_EQ(grid.value().nx(), nx);
+  EXPECT_EQ(grid.value().ny(), ny);
+  return grid.MoveValue();
+}
+
+TEST(QuartetColoringTest, ValidatesOnAssortedGridShapes) {
+  for (const auto& [nx, ny] : {std::pair{2, 2}, std::pair{3, 2},
+                               std::pair{2, 7},
+                              std::pair{5, 5}, std::pair{16, 3},
+                              std::pair{13, 11}}) {
+    const grid::Grid grid = MakeGrid(nx, ny);
+    const QuartetColoring coloring = QuartetColoring::Build(grid);
+    EXPECT_TRUE(coloring.Validate(grid)) << nx << "x" << ny;
+  }
+}
+
+TEST(QuartetColoringTest, LatticeGreedyIsTheCheckerboardTwoColoring) {
+  const grid::Grid grid = MakeGrid(9, 7);
+  const QuartetColoring coloring = QuartetColoring::Build(grid);
+  EXPECT_EQ(coloring.num_colors(), 2);
+  for (grid::QuartetId q = 0; q < grid.num_quartets(); ++q) {
+    EXPECT_EQ(coloring.ColorOf(q),
+              (grid.QuartetX(q) + grid.QuartetY(q)) % 2 == 0 ? 0 : 1);
+  }
+}
+
+TEST(QuartetColoringTest, SingleQuartetGetsOneColor) {
+  const grid::Grid grid = MakeGrid(2, 2);
+  const QuartetColoring coloring = QuartetColoring::Build(grid);
+  EXPECT_EQ(coloring.num_colors(), 1);
+  EXPECT_EQ(coloring.QuartetsOfColor(0).size(), 1u);
+  EXPECT_EQ(coloring.ColorOf(0), 0);
+}
+
+TEST(QuartetColoringTest, ColorClassesPartitionAllQuartetsInAscendingOrder) {
+  const grid::Grid grid = MakeGrid(7, 6);
+  const QuartetColoring coloring = QuartetColoring::Build(grid);
+  std::set<grid::QuartetId> seen;
+  for (int color = 0; color < coloring.num_colors(); ++color) {
+    const std::vector<grid::QuartetId>& bucket =
+        coloring.QuartetsOfColor(color);
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(bucket[i - 1], bucket[i]);
+      }
+      EXPECT_EQ(coloring.ColorOf(bucket[i]), color);
+      EXPECT_TRUE(seen.insert(bucket[i]).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(grid.num_quartets()));
+}
+
+TEST(QuartetColoringTest, ConflictingQuartetsNeverShareAColor) {
+  // Conflict = sharing a side-pair edge = 4-neighborhood in the quartet
+  // lattice; diagonal lattice neighbors share only a cell and MAY share a
+  // color (the checkerboard gives them the same one).
+  const grid::Grid grid = MakeGrid(6, 6);
+  const QuartetColoring coloring = QuartetColoring::Build(grid);
+  for (grid::QuartetId q = 0; q < grid.num_quartets(); ++q) {
+    const int qx = grid.QuartetX(q);
+    const int qy = grid.QuartetY(q);
+    const grid::QuartetId right = grid.QuartetIdOf(qx + 1, qy);
+    const grid::QuartetId up = grid.QuartetIdOf(qx, qy + 1);
+    const grid::QuartetId diag = grid.QuartetIdOf(qx + 1, qy + 1);
+    if (right != grid::kInvalidId) {
+      EXPECT_NE(coloring.ColorOf(q), coloring.ColorOf(right));
+    }
+    if (up != grid::kInvalidId) {
+      EXPECT_NE(coloring.ColorOf(q), coloring.ColorOf(up));
+    }
+    if (diag != grid::kInvalidId) {
+      EXPECT_EQ(coloring.ColorOf(q), coloring.ColorOf(diag));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pasjoin::agreements

@@ -164,6 +164,64 @@ TEST(CostModelTest, RecommendPolicyPicksAnAdaptiveVariantOnSkewedData) {
       << agreements::PolicyName(policy);
 }
 
+TEST(CostPredictionTest, ToStringNeverTruncates) {
+  // Regression: ToString used a fixed 256-byte snprintf buffer; %.0f of a
+  // huge magnitude expands to ~310 characters per field, so four such
+  // fields were silently cut off mid-line.
+  CostPrediction pred;
+  pred.replicated_r = 1e300;
+  pred.replicated_s = 1e300;
+  pred.shuffled_tuples = 1e300;
+  pred.total_candidates = 1e300;
+  pred.max_cell_candidates = 1e300;
+  const std::string line = pred.ToString();
+  EXPECT_GT(line.size(), 1000u);
+  // Every field survives, including the trailing ones.
+  EXPECT_NE(line.find("repl="), std::string::npos);
+  EXPECT_NE(line.find("shuffled="), std::string::npos);
+  EXPECT_NE(line.find("candidates=1.000e+300"), std::string::npos);
+  EXPECT_NE(line.find("max-cell=1.000e+300"), std::string::npos);
+}
+
+TEST(CostModelTest, RangeApisMatchTheSequentialWholeGridResults) {
+  const Scenario setup = Scenario::Make(3000);
+  const CostModel model(&setup.grid, &setup.stats);
+  const AgreementGraph graph =
+      AgreementGraph::Build(setup.grid, setup.stats, Policy::kLPiB);
+  const int cells = setup.grid.num_cells();
+
+  // PerCellCandidatesRange over arbitrary chunk boundaries fills the same
+  // slots as the whole-grid call.
+  const std::vector<double> whole = model.PerCellCandidates(graph);
+  std::vector<double> chunked(static_cast<size_t>(cells), -1.0);
+  for (int begin = 0; begin < cells; begin += 37) {
+    const int end = std::min(cells, begin + 37);
+    model.PerCellCandidatesRange(graph, begin, end, chunked.data());
+  }
+  ASSERT_EQ(whole.size(), chunked.size());
+  for (int c = 0; c < cells; ++c) {
+    EXPECT_EQ(whole[static_cast<size_t>(c)], chunked[static_cast<size_t>(c)])
+        << c;
+  }
+
+  // PredictRange partials folded in ascending block order reproduce
+  // Predict bit-for-bit (same block decomposition by construction).
+  constexpr int kBlock = CostModel::kPredictBlockCells;
+  std::vector<CostModel::PredictPartial> partials;
+  for (int begin = 0; begin < cells; begin += kBlock) {
+    partials.push_back(
+        model.PredictRange(graph, begin, std::min(cells, begin + kBlock)));
+  }
+  const CostPrediction folded =
+      model.FoldPredict(partials.data(), partials.size());
+  const CostPrediction direct = model.Predict(graph);
+  EXPECT_EQ(folded.replicated_r, direct.replicated_r);
+  EXPECT_EQ(folded.replicated_s, direct.replicated_s);
+  EXPECT_EQ(folded.shuffled_tuples, direct.shuffled_tuples);
+  EXPECT_EQ(folded.total_candidates, direct.total_candidates);
+  EXPECT_EQ(folded.max_cell_candidates, direct.max_cell_candidates);
+}
+
 TEST(CostModelTest, PredictMakespanRespectsPlacement) {
   const Scenario setup = Scenario::Make(3000);
   const CostModel model(&setup.grid, &setup.stats);

@@ -2,6 +2,7 @@
 #include "core/lpt_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -90,6 +91,29 @@ TEST(CellAssignmentTest, OwnerFnAdapterMatches) {
 TEST(CellAssignmentTest, SingleWorkerTakesEverything) {
   const CellAssignment a = CellAssignment::Lpt({1, 2, 3}, 1);
   for (int32_t c = 0; c < 3; ++c) EXPECT_EQ(a.OwnerOf(c), 0);
+}
+
+TEST(CellAssignmentDeathTest, LptRejectsNanCosts) {
+  // Regression: a NaN cost used to flow straight into std::sort, breaking
+  // its strict-weak-ordering contract (undefined behavior) and silently
+  // skewing the placement. Now it aborts loudly at the boundary.
+  const std::vector<double> costs = {
+      1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  EXPECT_DEATH(CellAssignment::Lpt(costs, 2), "isnan");
+}
+
+TEST(CellAssignmentDeathTest, LptRejectsNegativeCosts) {
+  const std::vector<double> costs = {1.0, -0.5, 3.0};
+  EXPECT_DEATH(CellAssignment::Lpt(costs, 2), "cost");
+}
+
+TEST(CellAssignmentTest, LptAcceptsInfiniteAndZeroCosts) {
+  // Infinities sort fine (they are ordered); only NaN and negatives are
+  // rejected. The infinite cell lands alone via LPT's descending order.
+  const std::vector<double> costs = {
+      0.0, std::numeric_limits<double>::infinity(), 2.0, 1.0};
+  const CellAssignment a = CellAssignment::Lpt(costs, 2);
+  EXPECT_NE(a.OwnerOf(1), a.OwnerOf(2));
 }
 
 }  // namespace

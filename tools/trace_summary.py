@@ -32,6 +32,12 @@ reported (exit 1 on violation):
     phase spans: measured_construction_seconds ~= driver_seconds +
     phase-map + phase-regroup, measured_join_seconds ~= phase-join,
     measured_dedup_seconds ~= phase-dedup-scatter + phase-dedup-merge;
+  * the measured_planning_seconds gauge (wall time of the driver-side
+    planning pipeline, docs/PARALLELISM.md section 8) vs the sum of the
+    top-level planning spans (planning-pairs, planning-subgraphs,
+    planning-marking, planning-costs, planning-lpt; the per-color
+    planning-color-round children nest inside planning-marking and are
+    excluded to avoid double counting);
   * kernel gauge sums (sort/sweep/emit) vs the kernel span sums, when the
     run reported a kernel breakdown;
   * the candidates counter vs the sum of join-partition span args (exact;
@@ -66,6 +72,16 @@ TASK_SPANS = (
     "dedup-merge-task",
 )
 KERNEL_SPANS = ("kernel-sort", "kernel-sweep", "kernel-emit")
+# Top-level spans of the driver-side planning pipeline (core/planning.h).
+# "planning-color-round" is deliberately absent: the per-color rounds nest
+# inside planning-marking, and counting both would double the marking time.
+PLANNING_SPANS = (
+    "planning-pairs",
+    "planning-subgraphs",
+    "planning-marking",
+    "planning-costs",
+    "planning-lpt",
+)
 
 
 def load_trace(path: str):
@@ -265,6 +281,18 @@ def validate(rollup: Rollup, trace, tolerance: float, slack: float) -> list:
         check(
             "measured_dedup_seconds",
             gauges["measured_dedup_seconds"],
+            derived,
+        )
+
+    # Driver-side planning: the measured_planning_seconds gauge is the
+    # driver's wall clock around the planning pipeline, whose stages are
+    # exactly the top-level planning spans (all on the driver track, so
+    # their totals add up to wall time).
+    if gauges.get("measured_planning_seconds", 0.0) > 0.0:
+        derived = sum(rollup.total(name) for name in PLANNING_SPANS)
+        check(
+            "measured_planning_seconds",
+            gauges["measured_planning_seconds"],
             derived,
         )
 
